@@ -1,0 +1,145 @@
+// Command attacksim runs the row-hammer attack suite (Section 5)
+// against a chosen tracker — or all of them — and reports, per
+// pattern, whether the security oracle observed any row reaching the
+// row-hammer threshold without a mitigation.
+//
+// Usage:
+//
+//	attacksim -tracker hydra -trh 500 -acts 2000000
+//	attacksim -tracker all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/rh"
+	"repro/internal/sim"
+	"repro/internal/track"
+	"repro/internal/workload"
+)
+
+func main() {
+	trackerName := flag.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|all")
+	trh := flag.Int("trh", 500, "row-hammer threshold")
+	acts := flag.Int("acts", 2_000_000, "demand activations per window")
+	windows := flag.Int("windows", 2, "tracking windows (reset between)")
+	full := flag.Bool("full", false, "run the attack through the full timing simulator (hydra only)")
+	flag.Parse()
+
+	if *full {
+		runFullSystem(*trh, *acts)
+		return
+	}
+
+	geom := track.BaselineGeometry()
+	cfg := attack.Config{
+		TRH:         *trh,
+		RowsPerBank: geom.RowsPerBank,
+		ActsPerWin:  *acts,
+		Windows:     *windows,
+	}
+
+	target := rh.Row(100000)
+	patterns := []func() attack.Pattern{
+		func() attack.Pattern { return &attack.SingleSided{Target: target} },
+		func() attack.Pattern { return &attack.DoubleSided{Victim: target} },
+		func() attack.Pattern { return &attack.ManySided{Base: target, Sides: 19, Spacing: 3} },
+		func() attack.Pattern { return &attack.HalfDouble{Victim: target} },
+		func() attack.Pattern {
+			return &attack.Thrash{
+				Target:     target,
+				Distractor: func(i int) rh.Row { return target - 60000 + rh.Row(i) },
+				Spread:     50000,
+				HammerEach: 4,
+			}
+		},
+	}
+
+	names := []string{"hydra", "graphene", "ocpr", "para", "twice", "cat", "prohit", "mrloc"}
+	if *trackerName != "all" {
+		names = []string{*trackerName}
+	}
+	broken := false
+	for _, name := range names {
+		for _, mk := range patterns {
+			tr, err := makeTracker(name, geom, *trh)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "attacksim:", err)
+				os.Exit(1)
+			}
+			res := attack.Run(tr, mk(), cfg)
+			fmt.Println(res)
+			if !res.Safe() {
+				broken = true
+			}
+		}
+	}
+	if broken {
+		fmt.Println("\nNOTE: violations above are expected for probabilistic or")
+		fmt.Println("undersized trackers; Hydra must always report SAFE.")
+	}
+}
+
+func makeTracker(name string, geom track.Geometry, trh int) (rh.Tracker, error) {
+	switch name {
+	case "hydra":
+		cfg := core.ForThreshold(trh)
+		cfg.Rows = geom.Rows
+		return core.New(cfg, rh.NullSink{})
+	case "graphene":
+		return track.NewGraphene(geom, trh)
+	case "ocpr":
+		return track.NewOCPR(geom, trh)
+	case "para":
+		return track.NewPARA(trh, 1e-9, 7)
+	case "twice":
+		return track.NewTWiCE(geom, trh, 0)
+	case "cat":
+		return track.NewCAT(geom, trh, 0)
+	case "prohit":
+		return track.NewProHIT(geom, 1.0/16, 7)
+	case "mrloc":
+		return track.NewMRLoC(geom, 7)
+	default:
+		return nil, fmt.Errorf("unknown tracker %q", name)
+	}
+}
+
+// runFullSystem drives a double-sided attack through the timing
+// simulator with background victim traffic and the oracle attached to
+// the controller's real activation stream.
+func runFullSystem(trh, acts int) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 70000})
+	oracle := attack.NewOracle(trh)
+
+	p, err := workload.ByName("xz") // background victim workload
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+	cfg := sim.Default(p)
+	cfg.Scale = 16
+	cfg.TRH = trh
+	cfg.KeepStructSize = true
+	cfg.Attack = &sim.AttackSpec{Rows: []uint32{victim - 1, victim + 1}, Acts: acts}
+	cfg.Observer = oracle
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+	verdict := "SAFE"
+	if !oracle.Safe() {
+		verdict = fmt.Sprintf("BROKEN (%d violations, first row %d at count %d)",
+			len(oracle.Violations), oracle.Violations[0].Row, oracle.Violations[0].Count)
+	}
+	fmt.Printf("full-system double-sided vs hydra: acts=%d mitig=%d victim-refreshes=%d maxUnmitig=%d %s\n",
+		res.Mem.Activates, res.Mitigations, res.Mem.MitigActs, oracle.MaxSeen, verdict)
+}

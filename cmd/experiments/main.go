@@ -1,0 +1,185 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags] <target>...
+//
+// Targets: table1 table2 table3 table4 table5 fig1b fig2 fig5 fig6 fig7
+// fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies all
+//
+// Flags:
+//
+//	-scale N       footprint scale (1 = full 64 ms window; default 16)
+//	-trh N         row-hammer threshold (default 500)
+//	-workloads a,b restrict to the named workloads
+//	-par N         parallel simulations (default NumCPU)
+//	-seed N        workload seed
+//	-json          emit reports as JSON
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
+	trh := flag.Int("trh", 500, "row-hammer threshold")
+	workloads := flag.String("workloads", "", "comma-separated workload subset")
+	par := flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	asJSON := flag.Bool("json", false, "emit reports as JSON instead of text tables")
+	flag.Parse()
+
+	opts := exp.Options{Scale: *scale, TRH: *trh, Parallelism: *par, Seed: *seed}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <target>...")
+		fmt.Fprintln(os.Stderr, "targets: table1 table2 table3 table4 table5 fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies all")
+		os.Exit(2)
+	}
+	if len(targets) == 1 && targets[0] == "all" {
+		targets = []string{"table1", "table2", "table3", "table4", "table5",
+			"fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "power",
+			"ext-rand", "ext-ddr5", "ext-rowswap", "ext-policies"}
+	}
+
+	for _, target := range targets {
+		start := time.Now()
+		rep, err := run(target, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"target": target, "report": rep}); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(format(rep))
+		fmt.Printf("[%s took %v]\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// formatter is implemented by every structured report.
+type formatter interface{ Format() string }
+
+func format(rep any) string {
+	if f, ok := rep.(formatter); ok {
+		return f.Format()
+	}
+	return fmt.Sprint(rep)
+}
+
+func run(target string, opts exp.Options) (any, error) {
+	switch target {
+	case "table1":
+		return exp.Table1Text(), nil
+	case "table2":
+		return exp.Table2Text(), nil
+	case "table3":
+		r, err := exp.Table3(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "table4":
+		return exp.Table4Text(), nil
+	case "table5":
+		return exp.Table5Text(opts.TRH), nil
+	case "fig1b":
+		r, err := exp.Figure1b(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig2":
+		r, err := exp.Figure2(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig5":
+		r, err := exp.Figure5(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig6":
+		r, err := exp.Figure6(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig7":
+		r, err := exp.Figure7(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig8":
+		r, err := exp.Figure8(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig9":
+		r, err := exp.Figure9(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "fig10":
+		r, err := exp.Figure10(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "power":
+		r, err := exp.Power(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "ext-rand":
+		r, err := exp.ExtensionRandomized(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "ext-ddr5":
+		r, err := exp.ExtensionDDR5(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "ext-rowswap":
+		r, err := exp.ExtensionRowSwap(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	case "ext-policies":
+		r, err := exp.ExtensionPolicies(opts)
+		if err != nil {
+			return "", err
+		}
+		return r, nil
+	default:
+		return "", fmt.Errorf("unknown target %q", target)
+	}
+}

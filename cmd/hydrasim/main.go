@@ -1,0 +1,146 @@
+// Command hydrasim runs one workload through the full-system
+// simulator under a chosen tracker and prints the result: cycles, IPC,
+// memory statistics, tracker traffic and (for Hydra) the Figure 4
+// access distribution.
+//
+// Usage:
+//
+//	hydrasim -workload parest -tracker hydra -scale 16 -trh 500
+//
+// Trackers: none hydra hydra-nogct hydra-norcc graphene cra ocpr para
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "parest", "workload name (see Table 3) or 'list'")
+	tracker := flag.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para")
+	scale := flag.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
+	trh := flag.Int("trh", 500, "row-hammer threshold")
+	craKB := flag.Int("cra-cache-kb", 64, "CRA metadata-cache size in KB")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	baseline := flag.Bool("baseline", true, "also run the non-secure baseline and report slowdown")
+	policy := flag.String("mitigation", "refresh", "mitigation policy: refresh|rowswap|throttle")
+	traceDir := flag.String("tracedir", "", "replay recorded traces (core*.trc from tracegen) instead of generating")
+	flag.Parse()
+
+	if *name == "list" {
+		for _, p := range workload.Profiles() {
+			fmt.Printf("%-12s %-10s MPKI=%-6.2f rows=%-7d hot=%-5d acts/row=%.1f\n",
+				p.Name, p.Suite, p.MPKI, p.UniqueRows, p.Hot250, p.ActsPerRow)
+		}
+		return
+	}
+
+	p, err := workload.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydrasim:", err)
+		os.Exit(1)
+	}
+	cfg := sim.Default(p)
+	cfg.Scale = *scale
+	cfg.TRH = *trh
+	cfg.Seed = *seed
+	cfg.Tracker = sim.TrackerKind(*tracker)
+	cfg.CRACacheBytes = *craKB * 1024
+	cfg.Mitigation = sim.MitigationPolicy(*policy)
+	if *traceDir != "" {
+		srcs, closers, err := loadTraces(*traceDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hydrasim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			for _, c := range closers {
+				c.Close()
+			}
+		}()
+		cfg.Traces = srcs
+	}
+
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydrasim:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("workload   %s (%s)\n", res.Workload, p.Suite)
+	fmt.Printf("tracker    %s (SRAM %d bytes)\n", res.Tracker, res.SRAMBytes)
+	fmt.Printf("cycles     %d (%.2f ms of 3.2 GHz time), IPC %.3f\n",
+		res.Cycles, float64(res.Cycles)/3.2e6, res.IPC())
+	fmt.Printf("memory     reads=%d writes=%d activates=%d row-hits=%d refreshes=%d avg-read-lat=%.0f cyc\n",
+		res.Mem.Reads, res.Mem.Writes, res.Mem.Activates, res.Mem.RowHits,
+		res.Mem.Refreshes, res.Mem.AvgReadLatency())
+	fmt.Printf("tracking   mitigations=%d victim-acts=%d meta-reads=%d meta-writes=%d\n",
+		res.Mitigations, res.Mem.MitigActs, res.Mem.MetaReads, res.Mem.MetaWrites)
+	if res.Swaps > 0 || res.Throttles > 0 {
+		fmt.Printf("policy     swaps=%d throttles=%d\n", res.Swaps, res.Throttles)
+	}
+	if res.Hydra != nil && res.Hydra.Acts > 0 {
+		a := float64(res.Hydra.Acts)
+		fmt.Printf("hydra      GCT-only %.1f%%  RCC-hit %.1f%%  RCT-DRAM %.1f%%  group-inits=%d\n",
+			float64(res.Hydra.GCTOnly)/a*100, float64(res.Hydra.RCCHit)/a*100,
+			float64(res.Hydra.RCTAccess)/a*100, res.Hydra.GroupInits)
+	}
+	if res.CRA != nil {
+		fmt.Printf("cra        cache-hits=%d miss-fetches=%d writebacks=%d\n",
+			res.CRA.Hits, res.CRA.MissFetches, res.CRA.Writebacks)
+	}
+
+	if *baseline && cfg.Tracker != sim.TrackNone {
+		bcfg := cfg
+		bcfg.Tracker = sim.TrackNone
+		base, err := sim.Run(bcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hydrasim: baseline:", err)
+			os.Exit(1)
+		}
+		norm := float64(base.Cycles) / float64(res.Cycles)
+		fmt.Printf("baseline   %d cycles -> normalized perf %.4f (slowdown %.2f%%)\n",
+			base.Cycles, norm, stats.SlowdownPct(norm))
+	}
+	fmt.Printf("[simulated in %v]\n", elapsed.Round(time.Millisecond))
+}
+
+// loadTraces opens every core*.trc in dir, in core order.
+func loadTraces(dir string) ([]cpu.TraceSource, []*os.File, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "core*.trc"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no core*.trc files in %s", dir)
+	}
+	sort.Strings(files)
+	var srcs []cpu.TraceSource
+	var closers []*os.File
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, closers, err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, closers, fmt.Errorf("%s: %w", path, err)
+		}
+		srcs = append(srcs, r)
+		closers = append(closers, f)
+	}
+	return srcs, closers, nil
+}

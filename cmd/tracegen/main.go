@@ -1,0 +1,131 @@
+// Command tracegen records the synthetic workload traces to disk in
+// the compact binary format of internal/trace (one file per core), so
+// runs can be replayed byte-identically — or replaced with traces
+// converted from other tools.
+//
+// Usage:
+//
+//	tracegen -workload parest -scale 16 -out /tmp/parest     # record
+//	tracegen -verify /tmp/parest                              # check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dram"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "parest", "workload to record")
+	scale := flag.Float64("scale", 16, "footprint scale")
+	cores := flag.Int("cores", 8, "number of cores (one file per core)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output directory (created if missing)")
+	verify := flag.String("verify", "", "verify a recorded trace directory and print stats")
+	flag.Parse()
+
+	if *verify != "" {
+		if err := verifyDir(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out directory required")
+		os.Exit(2)
+	}
+	if err := record(*name, *scale, *cores, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func record(name string, scale float64, cores int, seed uint64, out string) error {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	mem := dram.Baseline()
+	base := workload.DefaultStreamConfig(mem, mem.RowsPerBank-17)
+	base.Scale = scale
+	base.Cores = cores
+	base.Seed = seed
+	var total int64
+	for core := 0; core < cores; core++ {
+		cfg := base
+		cfg.CoreID = core
+		src, err := workload.NewStream(p, cfg)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(out, fmt.Sprintf("core%d.trc", core))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		w, err := trace.NewWriter(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		n, err := trace.Record(w, src)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("recording %s: %w", path, err)
+		}
+		total += n
+		fmt.Printf("wrote %s: %d records\n", path, n)
+	}
+	fmt.Printf("recorded %s at scale %g: %d records total\n", name, scale, total)
+	return nil
+}
+
+func verifyDir(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "core*.trc"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no core*.trc files in %s", dir)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		var reads, writes int64
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if rec.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		f.Close()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: %d reads, %d writes\n", path, reads, writes)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Tuning demo: size Hydra for a hypothetical future DRAM part.
+//
+// Suppose a vendor reports T_RH = 250 for a new device. This example
+// scales Hydra's structures per the paper's recipe (Section 6.3),
+// sweeps the GCT threshold T_G (Figure 10's experiment) on a hot,
+// cache-unfriendly workload, and prints the slowdown and the SRAM /
+// power budget of each candidate, so a designer can pick the knee.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const trh = 250 // the new device's threshold
+	th := trh / 2
+
+	// A demanding workload: parest has the paper's largest hot set
+	// (5882 rows above 250 activations per window).
+	p, err := workload.ByName("parest")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := runCfg(p, func(c *sim.Config) { c.Tracker = sim.TrackNone })
+
+	fmt.Printf("=== Tuning Hydra for T_RH = %d (T_H = %d) on %s ===\n", trh, th, p.Name)
+	fmt.Printf("%-10s %-12s %-12s %-14s\n", "T_G", "slowdown", "RCT traffic", "group inits")
+	for _, pctOfTH := range []int{50, 65, 80, 95} {
+		tg := th * pctOfTH / 100
+		res := runCfg(p, func(c *sim.Config) {
+			c.Tracker = sim.TrackHydra
+			c.TRH = trh
+			c.HydraTG = tg
+		})
+		norm := float64(base.Cycles) / float64(res.Cycles)
+		fmt.Printf("%3d%% (%3d) %10.2f%% %12d %14d\n",
+			pctOfTH, tg, stats.SlowdownPct(norm),
+			res.Mem.MetaReads+res.Mem.MetaWrites, res.Hydra.GroupInits)
+	}
+
+	// The structures double when the threshold halves; show the cost.
+	fmt.Println("\nstructure scaling (paper Section 6.3):")
+	for _, t := range []int{500, 250, 125} {
+		cfg := core.ForThreshold(t)
+		sp := power.ScaledSRAM(cfg.GCTEntries, cfg.RCCEntries)
+		fmt.Printf("  T_RH=%3d: GCT %4dK, RCC %3dK entries -> %6.1f KB SRAM, %5.1f mW\n",
+			t, cfg.GCTEntries/1024, cfg.RCCEntries/1024,
+			float64(cfg.Storage().TotalBytes)/1024, sp.TotalMW())
+	}
+}
+
+func runCfg(p workload.Profile, mut func(*sim.Config)) sim.Result {
+	cfg := sim.Default(p)
+	cfg.Scale = 16
+	mut(&cfg)
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,71 @@
+package hydra_test
+
+import (
+	"testing"
+
+	hydra "repro"
+)
+
+// TestPublicAPIRoundTrip exercises the facade the README advertises:
+// create a tracker, hammer a row under victim refresh, observe the
+// mitigation cadence and the storage report.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sink := &hydra.CountingSink{}
+	tracker, err := hydra.New(hydra.DefaultConfig(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := hydra.NewRefresher(tracker, hydra.DefaultBlast, 131072)
+
+	aggressor := hydra.Row(4096)
+	mitigs := 0
+	for i := 0; i < 1000; i++ {
+		if len(ref.Activate(aggressor)) > 0 {
+			mitigs++
+		}
+	}
+	// T_H = 250: exactly 4 mitigations in 1000 activations.
+	if mitigs != 4 {
+		t.Fatalf("mitigations = %d, want 4", mitigs)
+	}
+	if ref.Mitigations < 4 {
+		t.Fatalf("refresher counted %d mitigations", ref.Mitigations)
+	}
+	if tracker.Stats().Acts < 1000 {
+		t.Fatalf("acts = %d", tracker.Stats().Acts)
+	}
+	if sink.Total() == 0 {
+		t.Fatal("hammering produced no RCT traffic")
+	}
+	if got := tracker.Config().Storage().TotalBytes; got != 56*1024+512 {
+		t.Fatalf("storage = %d, want 56.5 KB", got)
+	}
+}
+
+func TestConfigForThreshold(t *testing.T) {
+	cfg := hydra.ConfigForThreshold(250)
+	if cfg.GCTEntries != 64*1024 {
+		t.Fatalf("GCT entries = %d, want 64K at TRH=250", cfg.GCTEntries)
+	}
+	if _, err := hydra.New(cfg, hydra.NullSink{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVictims(t *testing.T) {
+	v := hydra.Victims(hydra.Row(100), hydra.DefaultBlast, 131072)
+	if len(v) != 4 {
+		t.Fatalf("victims = %v", v)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew accepted an invalid config")
+		}
+	}()
+	bad := hydra.DefaultConfig()
+	bad.TG = 10000
+	hydra.MustNew(bad, hydra.NullSink{})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rh"
+)
+
+// BenchmarkGCTPath measures the common case: activations filtered
+// entirely by the Group-Count Table.
+func BenchmarkGCTPath(b *testing.B) {
+	t := MustNew(Default(), rh.NullSink{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Spread rows so GCT entries rarely reach T_G.
+		t.Activate(rh.Row(uint32(i*613) % (4 * 1024 * 1024)))
+	}
+}
+
+// BenchmarkRCCPath measures per-row tracking hits in the Row-Count
+// Cache (the group is pre-saturated).
+func BenchmarkRCCPath(b *testing.B) {
+	t := MustNew(Default(), rh.NullSink{})
+	for i := 0; i < 200; i++ {
+		t.Activate(rh.Row(0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Activate(rh.Row(uint32(i % 8))) // all in the saturated group
+	}
+}
+
+// BenchmarkRCTPath measures the worst case: every per-row access
+// misses the RCC and fetches the RCT line.
+func BenchmarkRCTPath(b *testing.B) {
+	cfg := Default()
+	cfg.NoRCC = true
+	t := MustNew(cfg, rh.NullSink{})
+	for i := 0; i < 200; i++ {
+		t.Activate(rh.Row(0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Activate(rh.Row(uint32(i % 128)))
+	}
+}
+
+// BenchmarkRandomizedIndexing measures the cipher-permuted variant of
+// the GCT path (footnote 4).
+func BenchmarkRandomizedIndexing(b *testing.B) {
+	cfg := Default()
+	cfg.Randomize = true
+	cfg.Seed = 7
+	t := MustNew(cfg, rh.NullSink{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Activate(rh.Row(uint32(i*613) % (4 * 1024 * 1024)))
+	}
+}
+
+// BenchmarkResetWindow measures the per-64 ms SRAM clear.
+func BenchmarkResetWindow(b *testing.B) {
+	t := MustNew(Default(), rh.NullSink{})
+	for i := 0; i < 100000; i++ {
+		t.Activate(rh.Row(uint32(i) % (4 * 1024 * 1024)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.ResetWindow()
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// TestCipherIsBijection verifies the permutation property exhaustively
+// for domains small enough to enumerate, including non-power-of-two and
+// odd-bit-width sizes that exercise the cycle-walking path.
+func TestCipherIsBijection(t *testing.T) {
+	for _, rows := range []int{2, 3, 7, 128, 1000, 4096, 5000} {
+		c := newRowCipher(rows, 42)
+		seen := make([]bool, rows)
+		for r := 0; r < rows; r++ {
+			e := c.Encrypt(uint32(r))
+			if int(e) >= rows {
+				t.Fatalf("rows=%d: Encrypt(%d)=%d out of range", rows, r, e)
+			}
+			if seen[e] {
+				t.Fatalf("rows=%d: Encrypt(%d)=%d collides", rows, r, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestCipherDeterministicPerKey(t *testing.T) {
+	a := newRowCipher(4096, 7)
+	b := newRowCipher(4096, 7)
+	for r := uint32(0); r < 100; r++ {
+		if a.Encrypt(r) != b.Encrypt(r) {
+			t.Fatalf("same seed, different mapping at row %d", r)
+		}
+	}
+}
+
+func TestRekeyChangesMapping(t *testing.T) {
+	c := newRowCipher(1<<20, 7)
+	before := make([]uint32, 256)
+	for r := range before {
+		before[r] = c.Encrypt(uint32(r))
+	}
+	c.Rekey()
+	same := 0
+	for r := range before {
+		if c.Encrypt(uint32(r)) == before[r] {
+			same++
+		}
+	}
+	// A fixed point or two can happen by chance; a mostly-unchanged
+	// mapping means Rekey is broken.
+	if same > len(before)/8 {
+		t.Fatalf("%d/%d rows unchanged after rekey", same, len(before))
+	}
+}
+
+func TestCipherSpreadsGroups(t *testing.T) {
+	// Consecutive rows (which share a group under the static mapping)
+	// should land in many distinct groups under the randomized one.
+	rows := 1 << 22
+	c := newRowCipher(rows, 99)
+	groups := make(map[uint32]bool)
+	for r := uint32(0); r < 128; r++ {
+		groups[c.Encrypt(r)/128] = true
+	}
+	if len(groups) < 64 {
+		t.Fatalf("128 consecutive rows map to only %d groups", len(groups))
+	}
+}

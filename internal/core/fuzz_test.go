@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rh"
+)
+
+// FuzzCipherBijection fuzzes the randomized-indexing cipher: for any
+// seed and domain size, two distinct rows must never collide.
+func FuzzCipherBijection(f *testing.F) {
+	f.Add(uint64(1), uint32(1000), uint32(0), uint32(1))
+	f.Add(uint64(42), uint32(4096), uint32(4095), uint32(0))
+	f.Add(uint64(7), uint32(3), uint32(1), uint32(2))
+	f.Fuzz(func(t *testing.T, seed uint64, rowsRaw, a, b uint32) {
+		rows := int(rowsRaw%100000) + 2
+		c := newRowCipher(rows, seed)
+		ra := a % uint32(rows)
+		rb := b % uint32(rows)
+		ea, eb := c.Encrypt(ra), c.Encrypt(rb)
+		if int(ea) >= rows || int(eb) >= rows {
+			t.Fatalf("out of range: %d or %d >= %d", ea, eb, rows)
+		}
+		if ra != rb && ea == eb {
+			t.Fatalf("collision: Encrypt(%d) == Encrypt(%d) == %d (rows=%d seed=%d)", ra, rb, ea, rows, seed)
+		}
+		if ra == rb && ea != eb {
+			t.Fatal("non-determinism")
+		}
+	})
+}
+
+// FuzzTrackerNeverUndercounts fuzzes the Lemma-1 invariant directly:
+// for an arbitrary activation pattern over a small row set, the
+// tracker's estimate never drops below the true count, and no row
+// passes T_H unmitigated.
+func FuzzTrackerNeverUndercounts(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 0}, false)
+	f.Add([]byte{255, 255, 255, 0}, true)
+	f.Fuzz(func(t *testing.T, pattern []byte, randomize bool) {
+		if len(pattern) > 4096 {
+			pattern = pattern[:4096]
+		}
+		cfg := Config{
+			Rows:       1024,
+			TRH:        40,
+			GCTEntries: 16,
+			RCCEntries: 16,
+			RCCWays:    8,
+			RowBytes:   8192,
+			Randomize:  randomize,
+			Seed:       1,
+		}
+		h := MustNew(cfg, rh.NullSink{})
+		th := h.Config().TH
+		trueCount := make(map[rh.Row]int)
+		for _, b := range pattern {
+			row := rh.Row(uint32(b) * 4 % 1024)
+			trueCount[row]++
+			if h.Activate(row) {
+				trueCount[row] = 0
+			}
+			if trueCount[row] > th {
+				t.Fatalf("row %d reached %d true acts unmitigated (TH=%d)", row, trueCount[row], th)
+			}
+			if est := h.EstimatedCount(row); est < trueCount[row] {
+				t.Fatalf("estimate %d < true %d", est, trueCount[row])
+			}
+		}
+	})
+}

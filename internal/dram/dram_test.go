@@ -1,0 +1,216 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaselineGeometry(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalBanks(); got != 32 {
+		t.Fatalf("TotalBanks = %d, want 32", got)
+	}
+	if got := c.TotalRows(); got != 4*1024*1024 {
+		t.Fatalf("TotalRows = %d, want 4M", got)
+	}
+	if got := c.TotalBytes(); got != 32<<30 {
+		t.Fatalf("TotalBytes = %d, want 32 GB", got)
+	}
+	if got := c.LinesPerRow(); got != 128 {
+		t.Fatalf("LinesPerRow = %d, want 128", got)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Channels: 0, RanksPerChannel: 1, BanksPerRank: 1, RowsPerBank: 1, RowBytes: 64},
+		{Channels: 1, RanksPerChannel: 0, BanksPerRank: 1, RowsPerBank: 1, RowBytes: 64},
+		{Channels: 1, RanksPerChannel: 1, BanksPerRank: 0, RowsPerBank: 1, RowBytes: 64},
+		{Channels: 1, RanksPerChannel: 1, BanksPerRank: 1, RowsPerBank: 0, RowBytes: 64},
+		{Channels: 1, RanksPerChannel: 1, BanksPerRank: 1, RowsPerBank: 1, RowBytes: 63},
+		{Channels: 1, RanksPerChannel: 1, BanksPerRank: 1, RowsPerBank: 1, RowBytes: 96},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, c)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Baseline()
+	f := func(raw uint64) bool {
+		line := raw % (uint64(c.TotalBytes()) / LineBytes)
+		return c.Encode(c.Decode(line)) == line
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFieldsInRange(t *testing.T) {
+	c := Baseline()
+	f := func(raw uint64) bool {
+		line := raw % (uint64(c.TotalBytes()) / LineBytes)
+		l := c.Decode(line)
+		return l.Channel >= 0 && l.Channel < c.Channels &&
+			l.Rank >= 0 && l.Rank < c.RanksPerChannel &&
+			l.Bank >= 0 && l.Bank < c.BanksPerRank &&
+			l.Row >= 0 && l.Row < c.RowsPerBank &&
+			l.Col >= 0 && l.Col < c.LinesPerRow()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalRowRoundTrip(t *testing.T) {
+	c := Baseline()
+	f := func(raw uint32) bool {
+		row := raw % uint32(c.TotalRows())
+		loc := c.RowLoc(row)
+		return c.GlobalRow(loc) == row
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveColumnsSameRow(t *testing.T) {
+	c := Baseline()
+	// Two lines that differ only in column must decode to the same
+	// channel/rank/bank/row: streaming within a row is a buffer hit.
+	base := c.Encode(Loc{Channel: 1, Rank: 0, Bank: 3, Row: 77, Col: 0})
+	l0 := c.Decode(base)
+	for col := 1; col < c.LinesPerRow(); col++ {
+		l := c.Decode(c.Encode(Loc{Channel: 1, Rank: 0, Bank: 3, Row: 77, Col: col}))
+		if l.Row != l0.Row || l.Bank != l0.Bank || l.Channel != l0.Channel {
+			t.Fatalf("col %d moved to %+v", col, l)
+		}
+	}
+}
+
+func TestVictimsInterior(t *testing.T) {
+	c := Baseline()
+	agg := c.GlobalRow(Loc{Channel: 0, Bank: 2, Row: 1000})
+	v := c.Victims(agg, 2)
+	if len(v) != 4 {
+		t.Fatalf("victims = %v, want 4 rows", v)
+	}
+	want := map[uint32]bool{agg - 2: true, agg - 1: true, agg + 1: true, agg + 2: true}
+	for _, row := range v {
+		if !want[row] {
+			t.Fatalf("unexpected victim %d (aggressor %d)", row, agg)
+		}
+	}
+}
+
+func TestVictimsClippedAtBankEdges(t *testing.T) {
+	c := Baseline()
+	first := c.GlobalRow(Loc{Channel: 0, Bank: 0, Row: 0})
+	if v := c.Victims(first, 2); len(v) != 2 {
+		t.Fatalf("victims at row 0 = %v, want 2 rows", v)
+	}
+	last := c.GlobalRow(Loc{Channel: 0, Bank: 0, Row: c.RowsPerBank - 1})
+	if v := c.Victims(last, 2); len(v) != 2 {
+		t.Fatalf("victims at last row = %v, want 2 rows", v)
+	}
+	second := c.GlobalRow(Loc{Channel: 0, Bank: 0, Row: 1})
+	if v := c.Victims(second, 2); len(v) != 3 {
+		t.Fatalf("victims at row 1 = %v, want 3 rows", v)
+	}
+}
+
+func TestVictimsStayInBank(t *testing.T) {
+	c := Baseline()
+	f := func(raw uint32, blastRaw uint8) bool {
+		row := raw % uint32(c.TotalRows())
+		blast := int(blastRaw%4) + 1
+		bank := int(row) / c.RowsPerBank
+		for _, v := range c.Victims(row, blast) {
+			if int(v)/c.RowsPerBank != bank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedRegionLayout(t *testing.T) {
+	c := Baseline()
+	r := NewReservedRegion(c, 512)
+	if r.MetaRows() != 512 {
+		t.Fatalf("MetaRows = %d", r.MetaRows())
+	}
+	// 512 rows over 32 banks = 16 rows per bank.
+	if got := r.RowsPerBankReserved(); got != 16 {
+		t.Fatalf("RowsPerBankReserved = %d, want 16", got)
+	}
+	if got := r.MaxDemandRow(); got != c.RowsPerBank-17 {
+		t.Fatalf("MaxDemandRow = %d, want %d", got, c.RowsPerBank-17)
+	}
+}
+
+func TestReservedRegionRoundTrip(t *testing.T) {
+	c := Baseline()
+	r := NewReservedRegion(c, 512)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 512; i++ {
+		row := r.GlobalRow(i)
+		if seen[row] {
+			t.Fatalf("metadata row %d reused global row %d", i, row)
+		}
+		seen[row] = true
+		j, ok := r.MetaIndex(row)
+		if !ok || j != i {
+			t.Fatalf("MetaIndex(%d) = %d,%v; want %d,true", row, j, ok, i)
+		}
+	}
+}
+
+func TestReservedRegionExcludesDemandRows(t *testing.T) {
+	c := Baseline()
+	r := NewReservedRegion(c, 512)
+	for bank := 0; bank < c.TotalBanks(); bank++ {
+		row := uint32(bank*c.RowsPerBank + r.MaxDemandRow())
+		if _, ok := r.MetaIndex(row); ok {
+			t.Fatalf("demand row %d classified as metadata", row)
+		}
+	}
+}
+
+func TestReservedRegionLineAddr(t *testing.T) {
+	c := Baseline()
+	r := NewReservedRegion(c, 512)
+	// Offsets within the same metadata row map to the same DRAM row,
+	// different columns.
+	a := c.Decode(r.LineAddr(0))
+	b := c.Decode(r.LineAddr(64))
+	if a.Row != b.Row || a.Bank != b.Bank || a.Channel != b.Channel {
+		t.Fatalf("same metadata row split across DRAM rows: %+v vs %+v", a, b)
+	}
+	if a.Col == b.Col {
+		t.Fatal("distinct offsets share a column")
+	}
+	// Offsets a full row apart map to different metadata rows.
+	far := c.Decode(r.LineAddr(uint64(c.RowBytes)))
+	if far.Row == a.Row && far.Bank == a.Bank && far.Channel == a.Channel {
+		t.Fatal("offsets a row apart still share a DRAM row")
+	}
+}
+
+func TestReservedRegionTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized region should panic")
+		}
+	}()
+	c := Baseline()
+	NewReservedRegion(c, c.TotalRows())
+}

@@ -1,0 +1,249 @@
+// Package exp is the experiment harness: one runner per table and
+// figure of the paper's evaluation (Section 6 plus the motivation
+// figures of Section 2). Each runner sweeps the 36 workloads across
+// the relevant tracker configurations in parallel, normalizes against
+// the non-secure baseline, and produces a formatted report with the
+// same rows/series the paper plots.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options control a harness run.
+type Options struct {
+	// Scale divides every workload footprint (and tracker structures)
+	// so a figure regenerates in bounded time; 1 reproduces the full
+	// 64 ms window. Default 16.
+	Scale float64
+	// TRH is the target row-hammer threshold (default 500).
+	TRH int
+	// Workloads restricts the sweep to the named workloads (default:
+	// all 36).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (default: NumCPU).
+	Parallelism int
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 16
+	}
+	if o.TRH <= 0 {
+		o.TRH = 500
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// profiles resolves the workload list.
+func (o Options) profiles() ([]workload.Profile, error) {
+	if len(o.Workloads) == 0 {
+		return workload.Profiles(), nil
+	}
+	var ps []workload.Profile
+	for _, name := range o.Workloads {
+		p, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// baseConfig builds the common simulation config for a profile.
+func (o Options) baseConfig(p workload.Profile) sim.Config {
+	cfg := sim.Default(p)
+	cfg.Scale = o.Scale
+	cfg.TRH = o.TRH
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// Variant is one tracker configuration in a sweep.
+type Variant struct {
+	Name   string
+	Mutate func(*sim.Config)
+}
+
+// cell addresses one (variant, workload) result.
+type cell struct {
+	variant  string
+	workload string
+	res      sim.Result
+	err      error
+}
+
+// runMatrix executes every (variant x profile) simulation with a
+// bounded worker pool and returns results[variant][workload].
+func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[string]map[string]sim.Result, error) {
+	type job struct {
+		v Variant
+		p workload.Profile
+	}
+	jobs := make(chan job)
+	results := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := o.baseConfig(j.p)
+				j.v.Mutate(&cfg)
+				res, err := sim.Run(cfg)
+				results <- cell{variant: j.v.Name, workload: j.p.Name, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, v := range variants {
+			for _, p := range profiles {
+				jobs <- job{v: v, p: p}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	out := make(map[string]map[string]sim.Result, len(variants))
+	for _, v := range variants {
+		out[v.Name] = make(map[string]sim.Result, len(profiles))
+	}
+	var firstErr error
+	for c := range results {
+		if c.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s/%s: %w", c.variant, c.workload, c.err)
+		}
+		out[c.variant][c.workload] = c.res
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// PerfReport holds normalized performance per workload and scheme,
+// the format of Figures 2, 5 and 8.
+type PerfReport struct {
+	Title    string
+	Schemes  []string // ordered, excluding the baseline
+	Profiles []workload.Profile
+	// Norm[scheme][workload] is performance normalized to the
+	// non-secure baseline (1.0 = no slowdown).
+	Norm map[string]map[string]float64
+}
+
+// perfReport runs baseline plus schemes and normalizes.
+func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error) {
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	variants := append([]Variant{{Name: "baseline", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackNone }}}, schemes...)
+	res, err := runMatrix(o, profiles, variants)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}}
+	for _, v := range schemes {
+		rep.Schemes = append(rep.Schemes, v.Name)
+		rep.Norm[v.Name] = map[string]float64{}
+		for _, p := range profiles {
+			base := res["baseline"][p.Name].Cycles
+			got := res[v.Name][p.Name].Cycles
+			if base == 0 || got == 0 {
+				return nil, fmt.Errorf("%s/%s: empty run", v.Name, p.Name)
+			}
+			rep.Norm[v.Name][p.Name] = float64(base) / float64(got)
+		}
+	}
+	return rep, nil
+}
+
+// SuiteGeomeans aggregates a scheme's normalized performance per
+// suite, plus GUPS alone and ALL, matching the paper's x-axis groups.
+func (r *PerfReport) SuiteGeomeans(scheme string) map[string]float64 {
+	bySuite := map[string][]float64{}
+	var all []float64
+	for _, p := range r.Profiles {
+		v := r.Norm[scheme][p.Name]
+		key := string(p.Suite)
+		bySuite[key] = append(bySuite[key], v)
+		all = append(all, v)
+	}
+	out := map[string]float64{}
+	for s, xs := range bySuite {
+		out[s] = stats.Geomean(xs)
+	}
+	out["ALL"] = stats.Geomean(all)
+	return out
+}
+
+// Format renders the report as a text table, one row per workload plus
+// suite geomeans, mirroring the figures' bar groups.
+func (r *PerfReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-12s", "workload")
+	for _, s := range r.Schemes {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Profiles {
+		fmt.Fprintf(&b, "%-12s", p.Name)
+		for _, s := range r.Schemes {
+			fmt.Fprintf(&b, " %14.3f", r.Norm[s][p.Name])
+		}
+		b.WriteString("\n")
+	}
+	suites := r.suiteOrder()
+	for _, su := range suites {
+		fmt.Fprintf(&b, "%-12s", "GEO:"+su)
+		for _, s := range r.Schemes {
+			fmt.Fprintf(&b, " %14.3f", r.SuiteGeomeans(s)[su])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (r *PerfReport) suiteOrder() []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, p := range r.Profiles {
+		if !seen[string(p.Suite)] {
+			seen[string(p.Suite)] = true
+			order = append(order, string(p.Suite))
+		}
+	}
+	order = append(order, "ALL")
+	return order
+}
+
+// sortedKeys returns map keys in sorted order (stable output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

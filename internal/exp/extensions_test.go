@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionRandomizedCloseToStatic(t *testing.T) {
+	opts := Options{Scale: 16, Workloads: []string{"parest", "xz"}}
+	rep, err := ExtensionRandomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := rep.SuiteGeomeans("hydra-static")["ALL"]
+	random := rep.SuiteGeomeans("hydra-random")["ALL"]
+	t.Logf("static=%.4f random=%.4f", static, random)
+	// The paper reports within 0.1% at full scale; scaled runs add
+	// variance, so allow 3%.
+	if diff := static - random; diff > 0.03 || diff < -0.03 {
+		t.Errorf("randomized indexing diverges: static=%.4f random=%.4f", static, random)
+	}
+}
+
+func TestExtensionDDR5(t *testing.T) {
+	opts := Options{Scale: 64, Workloads: []string{"parest", "bwaves"}}
+	rep, err := ExtensionDDR5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.SRAMBytes <= 0 {
+			t.Errorf("%s: SRAM = %d", row.Workload, row.SRAMBytes)
+		}
+		if row.DDR5Slowdown < -2 || row.DDR5Slowdown > 50 {
+			t.Errorf("%s: DDR5 slowdown = %v%%", row.Workload, row.DDR5Slowdown)
+		}
+	}
+	if out := rep.Format(); !strings.Contains(out, "per-controller") {
+		t.Error("format missing SRAM note")
+	}
+}
+
+func TestExtensionRowSwap(t *testing.T) {
+	rep, err := ExtensionRowSwap(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RefreshMitig == 0 || rep.SwapMitig == 0 {
+		t.Fatalf("no mitigations: %+v", rep)
+	}
+	// Victim refresh does 4 activations per mitigation; swap does 2.
+	if rep.RefreshExtraActs != 4*rep.RefreshMitig {
+		t.Errorf("refresh extra acts = %d, want %d", rep.RefreshExtraActs, 4*rep.RefreshMitig)
+	}
+	if rep.SwapExtraActs != 2*rep.SwapMitig {
+		t.Errorf("swap extra acts = %d, want %d", rep.SwapExtraActs, 2*rep.SwapMitig)
+	}
+	if out := rep.Format(); !strings.Contains(out, "row-swap") {
+		t.Error("format missing policy row")
+	}
+}
+
+func TestExtensionPolicies(t *testing.T) {
+	opts := Options{Scale: 32, Workloads: []string{"parest"}}
+	rep, err := ExtensionPolicies(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	t.Logf("refresh=%.2f%% rowswap=%.2f%% throttle=%.2f%%",
+		row.RefreshPct, row.RowSwapPct, row.ThrottlePct)
+	// Footnote 6's ordering: refresh cheapest, throttle a DoS.
+	if row.ThrottlePct < row.RefreshPct {
+		t.Errorf("throttle (%.2f%%) cheaper than refresh (%.2f%%)", row.ThrottlePct, row.RefreshPct)
+	}
+	if row.ThrottlePct < 20 {
+		t.Errorf("throttle slowdown %.2f%%; footnote 6 predicts DoS on parest", row.ThrottlePct)
+	}
+	if out := rep.Format(); !strings.Contains(out, "throttle") {
+		t.Error("format missing policy")
+	}
+}
+
+func TestFigure1bGoalCorner(t *testing.T) {
+	opts := Options{Scale: 32, Workloads: []string{"parest", "bwaves", "leela", "GUPS"}}
+	rep, err := Figure1b(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]Figure1bRow{}
+	for _, row := range rep.Rows {
+		byScheme[row.Scheme] = row
+	}
+	h := byScheme["hydra"]
+	g := byScheme["graphene"]
+	c := byScheme["cra-64KB"]
+	// The Figure 1(b) geometry: Graphene has >10x Hydra's SRAM; CRA
+	// has comparable SRAM but much larger slowdown; Hydra is in the
+	// goal corner.
+	if g.SRAMBytes < 10*h.SRAMBytes {
+		t.Errorf("graphene SRAM %d not >> hydra %d", g.SRAMBytes, h.SRAMBytes)
+	}
+	if c.SlowdownPct < 3*h.SlowdownPct && c.SlowdownPct < 5 {
+		t.Errorf("CRA slowdown %.2f%% not >> hydra %.2f%%", c.SlowdownPct, h.SlowdownPct)
+	}
+	// Hydra meets the storage half of the goal unconditionally; the
+	// <=1% half holds on the full suite (EXPERIMENTS.md) but not on
+	// this deliberately hot 4-workload subset, so it is not asserted.
+	if h.SRAMBytes/2 > 64*1024 {
+		t.Errorf("hydra SRAM %d exceeds the 64 KB/rank goal", h.SRAMBytes)
+	}
+	if g.InGoal {
+		t.Errorf("graphene in the goal corner despite %d bytes", g.SRAMBytes)
+	}
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Figure1bRow places one scheme on the SRAM-vs-slowdown plane of the
+// paper's Figure 1(b).
+type Figure1bRow struct {
+	Scheme      string
+	SRAMBytes   int // total for the 32 GB two-rank system
+	SlowdownPct float64
+	InGoal      bool // <= 64 KB per rank and <= 1% slowdown (Section 2.6)
+}
+
+// Figure1bReport is the tradeoff summary.
+type Figure1bReport struct {
+	TRH  int
+	Rows []Figure1bRow
+}
+
+// Format renders the report.
+func (r *Figure1bReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1(b): SRAM overhead vs slowdown at TRH=%d (goal: <=64 KB/rank, <=1%%)\n", r.TRH)
+	fmt.Fprintf(&b, "%-12s %14s %12s %8s\n", "scheme", "total SRAM", "slowdown", "goal?")
+	for _, row := range r.Rows {
+		goal := ""
+		if row.InGoal {
+			goal = "YES"
+		}
+		fmt.Fprintf(&b, "%-12s %14s %11.2f%% %8s\n",
+			row.Scheme, storage.FormatBytes(row.SRAMBytes), row.SlowdownPct, goal)
+	}
+	return b.String()
+}
+
+// Figure1b reproduces the motivation plot: SRAM-based tracking (high
+// storage, low slowdown), DRAM-based tracking (low storage, high
+// slowdown), and Hydra in the goal corner.
+func Figure1b(o Options) (*Figure1bReport, error) {
+	o = o.withDefaults()
+	perf, err := perfReport(o, "fig1b",
+		[]Variant{
+			{Name: "graphene", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackGraphene }},
+			{Name: "cra-64KB", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackCRA; c.CRACacheBytes = 64 * 1024 }},
+			{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
+		})
+	if err != nil {
+		return nil, err
+	}
+	rank := storage.PaperRank()
+	const ranks = 2
+	sram := map[string]int{
+		"graphene": ranks * storage.GrapheneBytes(rank, o.TRH),
+		"cra-64KB": 64 * 1024,
+		"hydra":    storage.HydraBytes(o.TRH),
+	}
+	rep := &Figure1bReport{TRH: o.TRH}
+	for _, scheme := range perf.Schemes {
+		slow := stats.SlowdownPct(perf.SuiteGeomeans(scheme)["ALL"])
+		bytes := sram[scheme]
+		rep.Rows = append(rep.Rows, Figure1bRow{
+			Scheme:      scheme,
+			SRAMBytes:   bytes,
+			SlowdownPct: slow,
+			InGoal:      bytes/ranks <= 64*1024 && slow <= 1.0,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,174 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dram"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Table1Text renders the paper's Table 1 (per-rank SRAM of prior
+// trackers across thresholds).
+func Table1Text() string {
+	rows := storage.Table1(storage.PaperRank(), 250, 500, 1000, 32000)
+	var b strings.Builder
+	b.WriteString("Table 1: per-rank SRAM/CAM storage, 16 GB rank\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s %12s\n",
+		"TRH", "Graphene", "TWiCE", "CAT", "D-CBF", "OCPR", "Hydra*")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %12s %12s %12s %12s %12s %12s\n", r.TRH,
+			storage.FormatBytes(r.Graphene), storage.FormatBytes(r.TWiCE),
+			storage.FormatBytes(r.CAT), storage.FormatBytes(r.DCBF),
+			storage.FormatBytes(r.OCPR), storage.FormatBytes(storage.HydraBytes(r.TRH)/2))
+	}
+	b.WriteString("* Hydra is per memory controller; shown halved for a per-rank comparison.\n")
+	return b.String()
+}
+
+// Table2Text renders the baseline system configuration.
+func Table2Text() string {
+	mem := dram.Baseline()
+	var b strings.Builder
+	b.WriteString("Table 2: baseline system configuration\n")
+	fmt.Fprintf(&b, "Cores (OoO)            8 @ 3.2 GHz, ROB 160, width 4\n")
+	fmt.Fprintf(&b, "Memory size            %d GB DDR4\n", mem.TotalBytes()>>30)
+	fmt.Fprintf(&b, "Banks x Ranks x Chan   %d x %d x %d\n", mem.BanksPerRank, mem.RanksPerChannel, mem.Channels)
+	fmt.Fprintf(&b, "Row size               %d KB, %d rows/bank, %d rows total\n",
+		mem.RowBytes/1024, mem.RowsPerBank, mem.TotalRows())
+	fmt.Fprintf(&b, "tRCD-tRP-tCAS          14-14-14 ns; tRC 45 ns; tRFC 350 ns; tREFI 7.8 us\n")
+	fmt.Fprintf(&b, "ACT max per bank       1.36 M per 64 ms window\n")
+	return b.String()
+}
+
+// Table3Row is one measured row of the workload characterization.
+type Table3Row struct {
+	Profile  workload.Profile          // the paper's numbers
+	Measured workload.Characterization // what the generator produced
+}
+
+// Table3Report validates the generator against Table 3.
+type Table3Report struct {
+	Scale float64
+	Rows  []Table3Row
+}
+
+// Format renders paper-vs-generated side by side.
+func (r *Table3Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: workload characterization, paper vs generated (footprint scale 1/%.0f)\n", r.Scale)
+	fmt.Fprintf(&b, "%-12s %18s %22s %16s %14s\n", "workload",
+		"MPKI (paper/gen)", "unique rows (p/g)", "ACT-250+ (p/g)", "ACTs/row (p/g)")
+	for _, row := range r.Rows {
+		p, m := row.Profile, row.Measured
+		sp := p.Scaled(r.Scale)
+		fmt.Fprintf(&b, "%-12s %8.2f /%8.2f %10d /%10d %7d /%7d %6.1f /%6.1f\n",
+			p.Name, p.MPKI, m.MPKI, sp.UniqueRows, m.UniqueRows, sp.Hot250, m.Hot250,
+			p.ActsPerRow, m.ActsPerRow)
+	}
+	return b.String()
+}
+
+// Table3 measures the generated traces against the paper's Table 3.
+func Table3(o Options) (*Table3Report, error) {
+	o = o.withDefaults()
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	mem := dram.Baseline()
+	base := workload.DefaultStreamConfig(mem, mem.RowsPerBank-17)
+	base.Scale = o.Scale
+	base.Seed = o.Seed
+	rep := &Table3Report{Scale: o.Scale}
+	for _, p := range profiles {
+		c, err := workload.Characterize(p, base)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Table3Row{Profile: p, Measured: c})
+	}
+	return rep, nil
+}
+
+// Table4Text renders Hydra's storage breakdown.
+func Table4Text() string {
+	s := storage.Table4()
+	var b strings.Builder
+	b.WriteString("Table 4: Hydra storage overhead (32 GB memory, 2 channels)\n")
+	fmt.Fprintf(&b, "%-8s %12s %10s %12s\n", "struct", "entry bits", "entries", "cost")
+	fmt.Fprintf(&b, "%-8s %12d %10d %12s\n", "GCT", s.GCTEntryBits, s.GCTEntries, storage.FormatBytes(s.GCTBytes))
+	fmt.Fprintf(&b, "%-8s %12d %10d %12s\n", "RCC", s.RCCEntryBits, s.RCCEntries, storage.FormatBytes(s.RCCBytes))
+	fmt.Fprintf(&b, "%-8s %12d %10d %12s\n", "RIT-ACT", s.RITActEntryBits, s.RITActEntries, storage.FormatBytes(s.RITActBytes))
+	fmt.Fprintf(&b, "%-8s %23s %12s\n", "Total", "", storage.FormatBytes(s.TotalBytes))
+	return b.String()
+}
+
+// Table5Text renders the total SRAM comparison (DDR4 vs DDR5).
+func Table5Text(trh int) string {
+	if trh <= 0 {
+		trh = 500
+	}
+	rows := storage.Table5(trh)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: total SRAM for 32 GB memory (2 ranks), TRH=%d\n", trh)
+	fmt.Fprintf(&b, "%-10s %14s %14s\n", "scheme", "DDR4 (16 bk)", "DDR5 (32 bk)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %14s %14s\n", r.Scheme,
+			storage.FormatBytes(r.DDR4), storage.FormatBytes(r.DDR5))
+	}
+	return b.String()
+}
+
+// PowerReport reproduces Section 6.8.
+type PowerReport struct {
+	PerWorkloadPct map[string]float64 // DRAM tracker-overhead %
+	AvgPct         float64
+	SRAM           power.SRAMPower
+}
+
+// Format renders the report.
+func (r *PowerReport) Format() string {
+	var b strings.Builder
+	b.WriteString("Section 6.8: power overhead of Hydra\n")
+	for _, w := range sortedKeys(r.PerWorkloadPct) {
+		fmt.Fprintf(&b, "%-12s DRAM overhead %6.3f%%\n", w, r.PerWorkloadPct[w])
+	}
+	fmt.Fprintf(&b, "%-12s DRAM overhead %6.3f%% (paper: ~0.2%%)\n", "AVERAGE", r.AvgPct)
+	fmt.Fprintf(&b, "SRAM power: GCT %.1f mW + RCC %.1f mW = %.1f mW (paper: 18.6 mW)\n",
+		r.SRAM.GCTmW, r.SRAM.RCCmW, r.SRAM.TotalMW())
+	return b.String()
+}
+
+// Power runs Hydra over the workloads and computes the DRAM energy
+// overhead of tracking plus the SRAM structure power.
+func Power(o Options) (*PowerReport, error) {
+	o = o.withDefaults()
+	profiles, err := o.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res, err := runMatrix(o, profiles, []Variant{
+		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &PowerReport{PerWorkloadPct: map[string]float64{}, SRAM: power.HydraSRAM()}
+	var pcts []float64
+	model := power.DefaultDRAM()
+	mem := dram.Baseline()
+	for _, p := range profiles {
+		r := res["hydra"][p.Name]
+		bd := power.DRAMEnergy(model, r.Mem, r.Cycles, mem.Channels)
+		pct := bd.TrackerOverheadPct()
+		rep.PerWorkloadPct[p.Name] = pct
+		pcts = append(pcts, pct)
+	}
+	rep.AvgPct = stats.Mean(pcts)
+	return rep, nil
+}

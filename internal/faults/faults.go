@@ -1,0 +1,125 @@
+// Package faults is a physical-damage model of row-hammer: instead of
+// checking the tracking invariant (internal/attack's oracle), it
+// accumulates disturbance on victim rows the way DRAM cells do and
+// reports bit-flips when any row's damage reaches the row-hammer
+// threshold.
+//
+// Each activation of row r disturbs its neighbours: distance-1 rows
+// take a full unit of damage, distance-2 rows take a fractional unit
+// (the coupling Half-Double exploits; Section 7.4 notes bit-flips at
+// distance two). A refresh of a row — from a victim-refresh mitigation
+// or the staggered auto-refresh — restores its charge, clearing the
+// damage. A row whose accumulated damage reaches T_RH flips.
+//
+// The model turns the paper's assumption ("a successful attack
+// requires more than T_RH activations within a refresh interval") into
+// an executable failure condition: the unprotected baseline flips
+// under a hammer, Hydra does not.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/mitigate"
+	"repro/internal/rh"
+)
+
+// Flip records one induced bit-flip.
+type Flip struct {
+	Row    rh.Row
+	Damage float64
+}
+
+// Model accumulates per-row disturbance. It implements
+// mitigate.Observer so it can watch a Refresher or the full-system
+// simulator directly.
+type Model struct {
+	trh         float64
+	blast       int
+	rowsPerBank int
+	dist2Coef   float64 // fractional damage at distance two
+
+	damage map[rh.Row]float64
+
+	Flips     []Flip
+	MaxDamage float64
+}
+
+var _ mitigate.Observer = (*Model)(nil)
+
+// NewModel creates a damage model. dist2Coef is the distance-2
+// coupling coefficient; Half-Double's ~300K-hammer requirement against
+// a T_RH ~ 5-10K part implies a few percent, so 0.05 is the default
+// when 0 is passed.
+func NewModel(trh, blast, rowsPerBank int, dist2Coef float64) *Model {
+	if trh <= 1 || rowsPerBank <= 0 || blast <= 0 {
+		panic(fmt.Sprintf("faults: bad parameters trh=%d blast=%d rowsPerBank=%d", trh, blast, rowsPerBank))
+	}
+	if dist2Coef <= 0 {
+		dist2Coef = 0.05
+	}
+	return &Model{
+		trh:         float64(trh),
+		blast:       blast,
+		rowsPerBank: rowsPerBank,
+		dist2Coef:   dist2Coef,
+		damage:      make(map[rh.Row]float64),
+	}
+}
+
+// Activated implements mitigate.Observer: one activation of row
+// disturbs its neighbours — and restores the activated row itself,
+// since opening a row senses and rewrites its own cells. (This is why
+// a hammered aggressor never flips its own bits, only its victims'.)
+func (m *Model) Activated(row rh.Row) {
+	delete(m.damage, row)
+	inBank := int(row) % m.rowsPerBank
+	m.disturb(row, inBank, -1, 1)
+	m.disturb(row, inBank, +1, 1)
+	m.disturb(row, inBank, -2, m.dist2Coef)
+	m.disturb(row, inBank, +2, m.dist2Coef)
+}
+
+func (m *Model) disturb(row rh.Row, inBank, d int, units float64) {
+	n := inBank + d
+	if n < 0 || n >= m.rowsPerBank {
+		return
+	}
+	victim := row + rh.Row(d)
+	dmg := m.damage[victim] + units
+	m.damage[victim] = dmg
+	if dmg > m.MaxDamage {
+		m.MaxDamage = dmg
+	}
+	if dmg >= m.trh {
+		m.Flips = append(m.Flips, Flip{Row: victim, Damage: dmg})
+		m.damage[victim] = 0 // the flip happened; start a fresh cell
+	}
+}
+
+// Mitigated implements mitigate.Observer: the mitigation refreshes the
+// blast-radius neighbours, restoring their charge.
+func (m *Model) Mitigated(row rh.Row) {
+	for _, v := range mitigate.Victims(row, m.blast, m.rowsPerBank) {
+		delete(m.damage, v)
+	}
+}
+
+// WindowReset models the staggered auto-refresh: every row is
+// refreshed once per 64 ms window, so damage does not persist across a
+// full window. (Within-window staggering is already covered by the
+// two-window accounting of the tracking oracle; the damage model uses
+// the window boundary as the refresh point, which is conservative for
+// attacks that straddle it by less than a window.)
+func (m *Model) WindowReset() {
+	clear(m.damage)
+}
+
+// Finish is a no-op; damage is evaluated continuously.
+func (m *Model) Finish() {}
+
+// Flipped reports whether any bit flipped.
+func (m *Model) Flipped() bool { return len(m.Flips) > 0 }
+
+// Damage returns the current damage of a row (for tests).
+func (m *Model) Damage(row rh.Row) float64 { return m.damage[row] }

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mitigate"
+	"repro/internal/rh"
+)
+
+const (
+	tRH  = 100
+	rpb  = 4096
+	rows = 4096
+)
+
+func hydraTracker(t *testing.T) *core.Tracker {
+	t.Helper()
+	return core.MustNew(core.Config{
+		Rows:       rows,
+		TRH:        tRH,
+		GCTEntries: 32,
+		RCCEntries: 64,
+		RCCWays:    8,
+		RowBytes:   8192,
+	}, rh.NullSink{})
+}
+
+func TestUnprotectedHammerFlipsBits(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	agg := rh.Row(1000)
+	for i := 0; i < tRH; i++ {
+		m.Activated(agg)
+	}
+	if !m.Flipped() {
+		t.Fatalf("no flip after %d unmitigated activations (max damage %.1f)", tRH, m.MaxDamage)
+	}
+	// The first victims are the distance-1 neighbours.
+	f := m.Flips[0]
+	if f.Row != agg-1 && f.Row != agg+1 {
+		t.Fatalf("first flip at row %d, want a distance-1 neighbour of %d", f.Row, agg)
+	}
+}
+
+func TestHydraPreventsFlips(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	ref := mitigate.NewRefresher(hydraTracker(t), 2, rpb)
+	ref.Observer = m
+	agg := rh.Row(1000)
+	for i := 0; i < 100*tRH; i++ {
+		ref.Activate(agg)
+	}
+	if m.Flipped() {
+		t.Fatalf("bit flipped under Hydra: %+v (mitigations %d)", m.Flips[0], ref.Mitigations)
+	}
+	if ref.Mitigations == 0 {
+		t.Fatal("hammer never mitigated")
+	}
+}
+
+func TestHalfDoubleDistanceTwoDamage(t *testing.T) {
+	// Without mitigation, heavy hammering at distance 2 from the
+	// victim flips it via the coupling coefficient.
+	m := NewModel(tRH, 2, rpb, 0.05)
+	victim := rh.Row(1000)
+	// Hammer victim+2 and victim-2: victim gets 2*0.05 per pair.
+	need := int(float64(tRH)/0.05) + 1
+	flippedVictim := false
+	for i := 0; i < need; i++ {
+		m.Activated(victim + 2)
+		m.Activated(victim - 2)
+		for _, f := range m.Flips {
+			if f.Row == victim {
+				flippedVictim = true
+			}
+		}
+		if flippedVictim {
+			break
+		}
+	}
+	if !flippedVictim {
+		t.Fatalf("distance-2 victim never flipped (max damage %.1f)", m.MaxDamage)
+	}
+}
+
+func TestHydraPreventsHalfDouble(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	ref := mitigate.NewRefresher(hydraTracker(t), 2, rpb)
+	ref.Observer = m
+	victim := rh.Row(1000)
+	for i := 0; i < 50*tRH; i++ {
+		ref.Activate(victim + 2)
+		ref.Activate(victim - 2)
+	}
+	for _, f := range m.Flips {
+		if f.Row >= victim-2 && f.Row <= victim+2 {
+			t.Fatalf("half-double flipped row %d under Hydra", f.Row)
+		}
+	}
+	if m.Flipped() {
+		t.Fatalf("unexpected flip at %+v", m.Flips[0])
+	}
+}
+
+func TestMitigationRefreshClearsDamage(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	agg := rh.Row(500)
+	for i := 0; i < tRH/2; i++ {
+		m.Activated(agg)
+	}
+	if m.Damage(agg+1) == 0 {
+		t.Fatal("no damage accumulated")
+	}
+	m.Mitigated(agg)
+	if m.Damage(agg+1) != 0 || m.Damage(agg-2) != 0 {
+		t.Fatal("mitigation did not clear blast-radius damage")
+	}
+}
+
+func TestWindowResetClearsDamage(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	m.Activated(rh.Row(7))
+	m.WindowReset()
+	if m.Damage(rh.Row(8)) != 0 {
+		t.Fatal("damage survived the refresh window")
+	}
+}
+
+func TestEdgeRowsClipDamage(t *testing.T) {
+	m := NewModel(tRH, 2, rpb, 0.05)
+	// Row 0: neighbours -1 and -2 do not exist; no panic, no wraparound.
+	for i := 0; i < tRH; i++ {
+		m.Activated(rh.Row(0))
+	}
+	if !m.Flipped() {
+		t.Fatal("row 1 should have flipped")
+	}
+	for _, f := range m.Flips {
+		if int(f.Row) > 2 {
+			t.Fatalf("implausible flip at row %d", f.Row)
+		}
+	}
+}
+
+func TestBadParametersPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters should panic")
+		}
+	}()
+	NewModel(1, 2, rpb, 0)
+}

@@ -1,0 +1,140 @@
+// Package llc models the baseline system's shared last-level cache
+// (Table 2: 8 MB, 16-way, 64-byte lines). The simulator's workload
+// streams are calibrated post-LLC (Table 3's MPKI is LLC misses), so
+// the full-system runs do not need a cache model — but users bringing
+// raw, instruction-level access traces do: Filter wraps any trace
+// source and forwards only the LLC misses and the writebacks of dirty
+// evictions, folding the instruction gaps of hits into the next miss.
+package llc
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// Config sizes the cache.
+type Config struct {
+	Bytes     int
+	Ways      int
+	LineBytes int
+}
+
+// Default returns the paper's Table 2 LLC: 8 MB, 16-way, 64 B lines.
+func Default() Config {
+	return Config{Bytes: 8 << 20, Ways: 16, LineBytes: 64}
+}
+
+// Cache is a shared write-back, write-allocate last-level cache over
+// line addresses.
+type Cache struct {
+	cfg  Config
+	tags *cache.SetAssoc
+
+	// Stats over the cache lifetime.
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// New creates a cache. It panics on invalid geometry, which is a
+// configuration error.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.Bytes <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("llc: bad config %+v", cfg))
+	}
+	lines := cfg.Bytes / cfg.LineBytes
+	if lines <= 0 || lines%cfg.Ways != 0 {
+		panic(fmt.Sprintf("llc: %d lines not a multiple of %d ways", lines, cfg.Ways))
+	}
+	return &Cache{cfg: cfg, tags: cache.New(lines, cfg.Ways, cache.LRU)}
+}
+
+// Access performs one read or write of a line. On a miss the line is
+// allocated; if that displaces a dirty line, its address is returned
+// as a writeback.
+func (c *Cache) Access(line uint64, write bool) (miss bool, writeback uint64, hasWB bool) {
+	if _, ok := c.tags.Lookup(line); ok {
+		c.Hits++
+		if write {
+			c.tags.Update(line, 0)
+		}
+		return false, 0, false
+	}
+	c.Misses++
+	victim, evicted := c.tags.Insert(line, 0, write)
+	if evicted && victim.Dirty {
+		c.Writebacks++
+		return true, victim.Key, true
+	}
+	return true, 0, false
+}
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Filter adapts a raw (pre-LLC) trace source into the post-LLC stream
+// the memory simulator consumes: hits are absorbed (their instruction
+// gaps accumulate onto the next forwarded request), misses pass
+// through as reads, and dirty evictions follow as writebacks. Filter
+// implements cpu.TraceSource.
+type Filter struct {
+	cache *Cache
+	src   interface {
+		Next() (workload.Request, bool)
+	}
+	pending    []workload.Request
+	gapCarry   int
+	instsTotal int64
+}
+
+// NewFilter wraps src with the cache.
+func NewFilter(c *Cache, src interface {
+	Next() (workload.Request, bool)
+}) *Filter {
+	return &Filter{cache: c, src: src}
+}
+
+// Next implements cpu.TraceSource.
+func (f *Filter) Next() (workload.Request, bool) {
+	if len(f.pending) > 0 {
+		r := f.pending[0]
+		f.pending = f.pending[1:]
+		return r, true
+	}
+	for {
+		r, ok := f.src.Next()
+		if !ok {
+			return workload.Request{}, false
+		}
+		f.instsTotal += int64(r.Gap) + 1
+		miss, wb, hasWB := f.cache.Access(r.Line, r.Write)
+		if !miss {
+			// Absorbed: its instructions count toward the next miss.
+			f.gapCarry += r.Gap + 1
+			continue
+		}
+		out := workload.Request{Gap: r.Gap + f.gapCarry, Write: false, Line: r.Line}
+		f.gapCarry = 0
+		if hasWB {
+			f.pending = append(f.pending, workload.Request{Gap: 0, Write: true, Line: wb})
+		}
+		return out, true
+	}
+}
+
+// Insts returns the instructions consumed from the raw source, for
+// computing post-LLC MPKI.
+func (f *Filter) Insts() int64 { return f.instsTotal }
+
+// GapCarry returns instructions absorbed by hits since the last
+// forwarded miss; at end of stream these trail the final memory
+// request (compute with no further memory traffic).
+func (f *Filter) GapCarry() int { return f.gapCarry }

@@ -1,0 +1,53 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// BenchmarkChannelThroughput measures simulator speed servicing a
+// bank-parallel read stream: requests simulated per wall-clock second
+// bounds how fast the figure sweeps can run.
+func BenchmarkChannelThroughput(b *testing.B) {
+	mem := dram.Baseline()
+	cfg := DefaultConfig(mem)
+	cfg.ReadQCap = 1 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	m := New(cfg)
+	for i := 0; i < b.N; i++ {
+		m.Submit(&Request{
+			Line:   mem.Encode(dram.Loc{Channel: i % 2, Bank: i % 16, Row: (i / 32) % 1000, Col: i % 128}),
+			Kind:   ReadReq,
+			Arrive: 0,
+		})
+		if i%1024 == 1023 {
+			drain(m)
+			m = New(cfg)
+		}
+	}
+	drain(m)
+}
+
+// BenchmarkRowHitStream measures the fast path: all row-buffer hits.
+func BenchmarkRowHitStream(b *testing.B) {
+	mem := dram.Baseline()
+	cfg := DefaultConfig(mem)
+	cfg.ReadQCap = 1 << 20
+	m := New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Submit(&Request{
+			Line:   mem.Encode(dram.Loc{Bank: 0, Row: 10, Col: i % 128}),
+			Kind:   ReadReq,
+			Arrive: 0,
+		})
+		if i%1024 == 1023 {
+			drain(m)
+			m = New(cfg)
+		}
+	}
+	drain(m)
+}

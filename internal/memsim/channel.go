@@ -1,0 +1,364 @@
+package memsim
+
+// bank is the per-bank timing state.
+type bank struct {
+	openRow int   // -1 when precharged
+	readyAt int64 // earliest start of the next column/precharge activity
+	lastAct int64 // last activation time (tRC spacing)
+}
+
+// channel is one memory controller: queues, banks, bus and refresh.
+type channel struct {
+	cfg *Config
+	id  int
+
+	banks   []bank
+	faw     [][4]int64 // per rank: last four ACT times
+	fawIdx  []int
+	nextRef []int64 // per rank: next scheduled refresh
+
+	busFreeAt int64
+
+	mitigQ []*Request
+	readQ  []*Request
+	metaQ  []*Request
+	writeQ []*Request
+
+	draining   bool
+	now        int64
+	nextAt     int64
+	dispatchAt int64 // earliest next scheduling decision (pacing)
+	seq        int64
+
+	stats Stats
+}
+
+const (
+	// starvationAge forces FCFS for a request stuck this long.
+	starvationAge int64 = 4000
+	// cmdGap spaces non-data commands (mitigation ACTs).
+	cmdGap int64 = 4
+	// metaPressure is the tracker's miss-buffer depth: when more
+	// metadata transfers than this are outstanding, they take priority
+	// over demand reads, modeling the pipeline stall a real controller
+	// takes when its tracker buffer fills. Without this bound a
+	// saturating tracker (CRA under a hot workload) would defer its
+	// counter updates forever.
+	metaPressure = 32
+)
+
+func newChannel(cfg *Config, id int) *channel {
+	nBanks := cfg.Mem.RanksPerChannel * cfg.Mem.BanksPerRank
+	c := &channel{
+		cfg:     cfg,
+		id:      id,
+		banks:   make([]bank, nBanks),
+		faw:     make([][4]int64, cfg.Mem.RanksPerChannel),
+		fawIdx:  make([]int, cfg.Mem.RanksPerChannel),
+		nextRef: make([]int64, cfg.Mem.RanksPerChannel),
+		nextAt:  Infinity,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].lastAct = -Infinity
+	}
+	for r := range c.faw {
+		for j := range c.faw[r] {
+			c.faw[r][j] = -Infinity
+		}
+		// Stagger refresh start per rank and channel a little so the
+		// whole system does not refresh in lockstep.
+		c.nextRef[r] = cfg.Timing.TREFI + int64(id*997+r*511)
+	}
+	return c
+}
+
+func (c *channel) bankIdx(r *Request) int {
+	return r.loc.Rank*c.cfg.Mem.BanksPerRank + r.loc.Bank
+}
+
+func (c *channel) submit(r *Request) bool {
+	switch r.Kind {
+	case ReadReq:
+		if len(c.readQ) >= c.cfg.ReadQCap {
+			return false
+		}
+		c.readQ = append(c.readQ, r)
+	case WriteReq:
+		if len(c.writeQ) >= c.cfg.WriteQCap {
+			return false
+		}
+		c.writeQ = append(c.writeQ, r)
+	case MetaRead, MetaWrite:
+		c.metaQ = append(c.metaQ, r) // internal traffic: never refused
+	case MitigAct:
+		c.mitigQ = append(c.mitigQ, r)
+	}
+	r.seq = c.seq
+	c.seq++
+	at := r.Arrive
+	if at < c.dispatchAt {
+		at = c.dispatchAt
+	}
+	if at < c.now {
+		at = c.now
+	}
+	if at < c.nextAt {
+		c.nextAt = at
+	}
+	return true
+}
+
+func (c *channel) idle() bool {
+	return len(c.mitigQ) == 0 && len(c.readQ) == 0 && len(c.metaQ) == 0 && len(c.writeQ) == 0
+}
+
+// step processes one scheduling decision at c.nextAt.
+func (c *channel) step() {
+	now := c.nextAt
+	c.now = now
+	c.applyRefreshes(now)
+
+	r, from := c.pick(now)
+	if r == nil {
+		c.nextAt = c.earliestArrival()
+		if c.nextAt < c.dispatchAt {
+			c.nextAt = c.dispatchAt
+		}
+		return
+	}
+	c.remove(from, r)
+	c.service(r, now)
+	// Pace the next scheduling decision: command bandwidth for
+	// bank-only activations; for data requests, stay a bounded
+	// lookahead ahead of the data bus so queues hold requests the bus
+	// cannot yet serve (realistic occupancy and backpressure).
+	c.dispatchAt = now + cmdGap
+	if r.Kind != MitigAct {
+		lookahead := c.cfg.Timing.TRP + c.cfg.Timing.TRCD + c.cfg.Timing.TCAS
+		if t := c.busFreeAt - lookahead; t > c.dispatchAt {
+			c.dispatchAt = t
+		}
+	}
+	c.nextAt = c.dispatchAt
+}
+
+// applyRefreshes issues every rank refresh scheduled at or before now.
+// The refresh occupies all banks of the rank for tRFC starting at its
+// scheduled time, so refreshes caught up after an idle gap do not
+// stack.
+func (c *channel) applyRefreshes(now int64) {
+	for rank := range c.nextRef {
+		for c.nextRef[rank] <= now {
+			start := c.nextRef[rank]
+			lo := rank * c.cfg.Mem.BanksPerRank
+			for b := lo; b < lo+c.cfg.Mem.BanksPerRank; b++ {
+				bk := &c.banks[b]
+				s := start
+				if bk.readyAt > s {
+					s = bk.readyAt
+				}
+				bk.readyAt = s + c.cfg.Timing.TRFC
+				bk.openRow = -1
+			}
+			c.stats.Refreshes++
+			c.nextRef[rank] += c.cfg.Timing.TREFI
+		}
+	}
+}
+
+func (c *channel) earliestArrival() int64 {
+	t := Infinity
+	for _, q := range [][]*Request{c.mitigQ, c.readQ, c.metaQ, c.writeQ} {
+		for _, r := range q {
+			if r.Arrive < t {
+				t = r.Arrive
+			}
+		}
+	}
+	if t < c.now {
+		t = c.now
+	}
+	return t
+}
+
+// pick chooses the next request: mitigation activations, then demand
+// reads (or writes while draining), then metadata, then opportunistic
+// writes.
+func (c *channel) pick(now int64) (*Request, *[]*Request) {
+	if r := oldestArrived(c.mitigQ, now); r != nil {
+		return r, &c.mitigQ
+	}
+	if len(c.writeQ) >= c.cfg.DrainHi {
+		c.draining = true
+	} else if len(c.writeQ) <= c.cfg.DrainLo {
+		c.draining = false
+	}
+	if c.draining {
+		if r := c.frfcfs(c.writeQ, now); r != nil {
+			return r, &c.writeQ
+		}
+	}
+	if len(c.metaQ) > metaPressure {
+		if r := c.frfcfs(c.metaQ, now); r != nil {
+			return r, &c.metaQ
+		}
+	}
+	if r := c.frfcfs(c.readQ, now); r != nil {
+		return r, &c.readQ
+	}
+	if r := c.frfcfs(c.metaQ, now); r != nil {
+		return r, &c.metaQ
+	}
+	if r := c.frfcfs(c.writeQ, now); r != nil {
+		return r, &c.writeQ
+	}
+	return nil, nil
+}
+
+func oldestArrived(q []*Request, now int64) *Request {
+	var best *Request
+	for _, r := range q {
+		if r.Arrive <= now && (best == nil || r.seq < best.seq) {
+			best = r
+		}
+	}
+	return best
+}
+
+// frfcfs implements first-ready FCFS: among arrived requests, prefer
+// the one whose data can start earliest (row hits win over conflicts),
+// breaking ties by age; a request older than starvationAge is served
+// first regardless.
+func (c *channel) frfcfs(q []*Request, now int64) *Request {
+	var best *Request
+	var bestEst int64
+	for _, r := range q {
+		if r.Arrive > now {
+			continue
+		}
+		if now-r.Arrive > starvationAge {
+			return r // queue order makes this the oldest starving one
+		}
+		b := &c.banks[c.bankIdx(r)]
+		est := b.readyAt
+		if est < now {
+			est = now
+		}
+		if b.openRow != r.loc.Row {
+			est += c.cfg.Timing.TRP + c.cfg.Timing.TRCD
+		}
+		if best == nil || est < bestEst || (est == bestEst && r.seq < best.seq) {
+			best, bestEst = r, est
+		}
+	}
+	return best
+}
+
+func (c *channel) remove(q *[]*Request, r *Request) {
+	for i, x := range *q {
+		if x == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("memsim: request not in its queue")
+}
+
+func (c *channel) fawReady(rank int) int64 {
+	return c.faw[rank][c.fawIdx[rank]] + c.cfg.Timing.TFAW
+}
+
+func (c *channel) fawPush(rank int, t int64) {
+	c.faw[rank][c.fawIdx[rank]] = t
+	c.fawIdx[rank] = (c.fawIdx[rank] + 1) % 4
+}
+
+// service executes one request, updating bank, bus and statistics, and
+// invoking the activation hook and completion callback.
+func (c *channel) service(r *Request, now int64) {
+	tm := &c.cfg.Timing
+	b := &c.banks[c.bankIdx(r)]
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var activatedAt int64 = -1
+	var finish int64
+
+	if r.Kind == MitigAct {
+		actAt := start
+		if b.openRow >= 0 {
+			actAt += tm.TRP
+		}
+		if t := b.lastAct + tm.TRC; t > actAt {
+			actAt = t
+		}
+		if t := c.fawReady(r.loc.Rank); t > actAt {
+			actAt = t
+		}
+		b.lastAct = actAt
+		b.openRow = -1
+		b.readyAt = actAt + tm.TRC
+		c.fawPush(r.loc.Rank, actAt)
+		c.stats.MitigActs++
+		c.stats.Activates++
+		activatedAt = actAt
+		finish = actAt + tm.TRC
+	} else {
+		var casAt int64
+		if b.openRow == r.loc.Row {
+			c.stats.RowHits++
+			casAt = start
+		} else {
+			actAt := start
+			if b.openRow >= 0 {
+				actAt += tm.TRP
+			}
+			if t := b.lastAct + tm.TRC; t > actAt {
+				actAt = t
+			}
+			if t := c.fawReady(r.loc.Rank); t > actAt {
+				actAt = t
+			}
+			b.lastAct = actAt
+			b.openRow = r.loc.Row
+			c.fawPush(r.loc.Rank, actAt)
+			c.stats.Activates++
+			activatedAt = actAt
+			casAt = actAt + tm.TRCD
+		}
+		dataAt := casAt + tm.TCAS
+		if c.busFreeAt > dataAt {
+			dataAt = c.busFreeAt
+		}
+		c.busFreeAt = dataAt + tm.TBURST
+		b.readyAt = dataAt + tm.TBURST - tm.TCAS
+		finish = dataAt + tm.TBURST
+
+		switch r.Kind {
+		case ReadReq:
+			finish += c.cfg.StaticLatency
+			c.stats.Reads++
+			c.stats.ReadLatSum += finish - r.Arrive
+		case WriteReq:
+			c.stats.Writes++
+		case MetaRead:
+			c.stats.MetaReads++
+		case MetaWrite:
+			c.stats.MetaWrites++
+		}
+	}
+
+	if finish > c.stats.BusyUntil {
+		c.stats.BusyUntil = finish
+	}
+	if r.OnFinish != nil {
+		r.OnFinish(finish)
+	}
+	// The hook runs last: it may submit new requests to this channel.
+	if activatedAt >= 0 && c.cfg.OnACT != nil {
+		c.cfg.OnACT(c.cfg.Mem.GlobalRow(r.loc), r.Kind, activatedAt)
+	}
+}

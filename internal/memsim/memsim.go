@@ -1,0 +1,208 @@
+package memsim
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+)
+
+// Kind classifies a memory request.
+type Kind uint8
+
+// Request kinds, in scheduling-priority order (after refresh):
+// mitigation activations first, then demand reads, then metadata
+// transfers, then writes (drained in batches).
+const (
+	MitigAct  Kind = iota // victim-refresh activation: bank-only, no data
+	ReadReq               // demand read (LLC miss)
+	MetaRead              // tracker metadata line read
+	MetaWrite             // tracker metadata line write
+	WriteReq              // demand write (LLC writeback)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MitigAct:
+		return "mitigate"
+	case ReadReq:
+		return "read"
+	case MetaRead:
+		return "meta-read"
+	case MetaWrite:
+		return "meta-write"
+	case WriteReq:
+		return "write"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Request is one memory-controller transaction.
+type Request struct {
+	Line   uint64
+	Kind   Kind
+	Arrive int64
+	// OnFinish, if non-nil, is called once with the completion time
+	// (for reads: when data is back at the core).
+	OnFinish func(finish int64)
+
+	loc dram.Loc
+	seq int64
+}
+
+// Config parameterizes the memory system.
+type Config struct {
+	Mem    dram.Config
+	Timing Timing
+
+	// Queue capacities per channel.
+	ReadQCap  int
+	WriteQCap int
+
+	// Write-drain hysteresis (fractions of WriteQCap are conventional;
+	// these are absolute counts).
+	DrainHi int
+	DrainLo int
+
+	// StaticLatency is the constant core-to-controller-and-back delay
+	// added to read completions (interconnect plus LLC lookup).
+	StaticLatency int64
+
+	// OnACT, if non-nil, is invoked for every row activation the
+	// controller performs, with the global row and the activation
+	// time. It runs synchronously during Step; it may submit new
+	// requests (metadata traffic, victim refreshes).
+	OnACT func(row uint32, kind Kind, now int64)
+}
+
+// DefaultConfig returns the baseline controller configuration.
+func DefaultConfig(mem dram.Config) Config {
+	return Config{
+		Mem:           mem,
+		Timing:        DDR4(),
+		ReadQCap:      64,
+		WriteQCap:     96,
+		DrainHi:       64,
+		DrainLo:       24,
+		StaticLatency: 60, // ~19 ns LLC + interconnect
+	}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	MetaReads  int64
+	MetaWrites int64
+	MitigActs  int64
+	Activates  int64 // row activations (all causes)
+	RowHits    int64 // CAS without a new activation
+	Refreshes  int64 // rank auto-refresh commands
+	ReadLatSum int64 // sum of read latencies (queue+service)
+	BusyUntil  int64 // latest completion seen
+}
+
+// AvgReadLatency returns the mean read latency in cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadLatSum) / float64(s.Reads)
+}
+
+// Memory is the full memory system: one controller per channel.
+type Memory struct {
+	cfg      Config
+	channels []*channel
+}
+
+// New creates a memory system. It panics on invalid configuration
+// since configurations are static in this codebase.
+func New(cfg Config) *Memory {
+	if err := cfg.Mem.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ReadQCap <= 0 || cfg.WriteQCap <= 0 || cfg.DrainHi > cfg.WriteQCap || cfg.DrainLo >= cfg.DrainHi {
+		panic(fmt.Sprintf("memsim: bad queue config %+v", cfg))
+	}
+	m := &Memory{cfg: cfg}
+	for c := 0; c < cfg.Mem.Channels; c++ {
+		m.channels = append(m.channels, newChannel(&m.cfg, c))
+	}
+	return m
+}
+
+// Submit routes a request to its channel. It reports false when the
+// relevant queue is full; the caller must retry later (NextTime will
+// advance as the controller drains).
+func (m *Memory) Submit(r *Request) bool {
+	r.loc = m.cfg.Mem.Decode(r.Line)
+	return m.channels[r.loc.Channel].submit(r)
+}
+
+// NextTime returns the earliest time any channel can act, or Infinity
+// when all are idle.
+func (m *Memory) NextTime() int64 {
+	t := Infinity
+	for _, c := range m.channels {
+		if c.nextAt < t {
+			t = c.nextAt
+		}
+	}
+	return t
+}
+
+// Step advances the channel with the earliest event. The caller must
+// only call it when NextTime() < Infinity.
+func (m *Memory) Step() {
+	best := m.channels[0]
+	for _, c := range m.channels[1:] {
+		if c.nextAt < best.nextAt {
+			best = c
+		}
+	}
+	best.step()
+}
+
+// Idle reports whether every queue in every channel is empty.
+func (m *Memory) Idle() bool {
+	for _, c := range m.channels {
+		if !c.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats sums the per-channel statistics.
+func (m *Memory) Stats() Stats {
+	var s Stats
+	for _, c := range m.channels {
+		s.Reads += c.stats.Reads
+		s.Writes += c.stats.Writes
+		s.MetaReads += c.stats.MetaReads
+		s.MetaWrites += c.stats.MetaWrites
+		s.MitigActs += c.stats.MitigActs
+		s.Activates += c.stats.Activates
+		s.RowHits += c.stats.RowHits
+		s.Refreshes += c.stats.Refreshes
+		s.ReadLatSum += c.stats.ReadLatSum
+		if c.stats.BusyUntil > s.BusyUntil {
+			s.BusyUntil = c.stats.BusyUntil
+		}
+	}
+	return s
+}
+
+// QueuePressure returns the fraction of read-queue capacity in use on
+// the fullest channel (for tests and debugging).
+func (m *Memory) QueuePressure() float64 {
+	max := 0
+	for _, c := range m.channels {
+		if n := len(c.readQ); n > max {
+			max = n
+		}
+	}
+	return float64(max) / float64(m.cfg.ReadQCap)
+}

@@ -1,0 +1,47 @@
+// Package memsim is an event-driven DDR4 memory-system simulator in
+// the spirit of USIMM (the simulator the paper evaluates with). It
+// models, per channel: FR-FCFS scheduling with read priority and
+// write-drain hysteresis, per-bank row-buffer and timing state
+// (tRCD/tRP/tCAS/tRC/tRFC/tFAW), a shared data bus, periodic rank
+// refresh, and the two request classes row-hammer tracking adds —
+// victim-refresh activations (bank-only, high priority) and metadata
+// line transfers (low priority).
+//
+// Time is measured in core cycles at 3.2 GHz (0.3125 ns), which makes
+// the paper's Table 2 DDR4-3200 parameters exact integers: tRC = 45 ns
+// = 144 cycles, a 64-byte burst = 2.5 ns = 8 cycles, and a 64 ms
+// refresh window = 204.8 M cycles.
+package memsim
+
+// Timing holds DRAM timing parameters in core cycles (3.2 GHz).
+type Timing struct {
+	TRCD   int64 // ACT to CAS
+	TRP    int64 // PRE to ACT
+	TCAS   int64 // CAS to first data
+	TRC    int64 // ACT to ACT, same bank
+	TRFC   int64 // refresh cycle time
+	TREFI  int64 // refresh interval
+	TBURST int64 // data bus occupancy per 64-byte transfer
+	TFAW   int64 // four-activation window, per rank
+}
+
+// DDR4 returns the paper's Table 2 parameters (14-14-14 ns, tRC 45 ns,
+// tRFC 350 ns, tREFI 7.8 us) in 3.2 GHz core cycles.
+func DDR4() Timing {
+	return Timing{
+		TRCD:   45,    // 14 ns
+		TRP:    45,    // 14 ns
+		TCAS:   45,    // 14 ns
+		TRC:    144,   // 45 ns
+		TRFC:   1120,  // 350 ns
+		TREFI:  24960, // 7.8 us
+		TBURST: 8,     // 2.5 ns
+		TFAW:   96,    // 30 ns
+	}
+}
+
+// WindowCycles is the 64 ms refresh/tracking window in core cycles.
+const WindowCycles int64 = 204_800_000
+
+// Infinity is a time later than any event in a run.
+const Infinity int64 = 1 << 62

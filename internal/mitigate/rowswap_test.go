@@ -1,0 +1,179 @@
+package mitigate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rh"
+)
+
+func swapHydra(t *testing.T) *core.Tracker {
+	t.Helper()
+	return core.MustNew(core.Config{
+		Rows:       4096,
+		TRH:        100,
+		GCTEntries: 32,
+		RCCEntries: 64,
+		RCCWays:    8,
+		RowBytes:   8192,
+	}, rh.NullSink{})
+}
+
+func TestSwapperRelocatesAggressor(t *testing.T) {
+	s := NewSwapper(swapHydra(t), 4096, 7)
+	logical := rh.Row(1000)
+	var swapsSeen int
+	physSeen := map[rh.Row]bool{}
+	for i := 0; i < 500; i++ {
+		phys, swapped := s.Activate(logical)
+		physSeen[phys] = true
+		if swapped {
+			swapsSeen++
+		}
+	}
+	// T_H = 50: roughly one swap per 50 activations.
+	if swapsSeen < 8 || swapsSeen > 12 {
+		t.Fatalf("swaps = %d, want ~10", swapsSeen)
+	}
+	if len(physSeen) < swapsSeen {
+		t.Fatalf("aggressor visited %d physical rows over %d swaps", len(physSeen), swapsSeen)
+	}
+	if s.Physical(logical) == logical && swapsSeen > 0 {
+		// Possible only if it swapped back by chance; vanishingly rare.
+		t.Log("aggressor returned to its original row (chance)")
+	}
+	if err := s.CheckPermutation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapperPhysicalRowsBounded(t *testing.T) {
+	// The RRS security core: while an aggressor hammers one logical
+	// row, no *physical* row accumulates more than T_H activations
+	// between swaps, because the tracker counts physical rows.
+	h := swapHydra(t)
+	s := NewSwapper(h, 4096, 9)
+	counts := map[rh.Row]int{}
+	for i := 0; i < 5000; i++ {
+		phys, swapped := s.Activate(rh.Row(2000))
+		counts[phys]++
+		if swapped {
+			counts[phys] = 0
+		}
+		if counts[phys] > 50 {
+			t.Fatalf("physical row %d reached %d acts without a swap", phys, counts[phys])
+		}
+	}
+}
+
+func TestSwapperMigrationFeedback(t *testing.T) {
+	s := NewSwapper(swapHydra(t), 4096, 11)
+	for i := 0; i < 200; i++ {
+		s.Activate(rh.Row(5))
+	}
+	if s.Swaps == 0 {
+		t.Fatal("no swaps")
+	}
+	if s.MigrationActs != 2*s.Swaps {
+		t.Fatalf("migration acts = %d, want 2 per swap (%d swaps)", s.MigrationActs, s.Swaps)
+	}
+}
+
+func TestSwapperRoutesReadsAfterSwap(t *testing.T) {
+	s := NewSwapper(swapHydra(t), 4096, 13)
+	logical := rh.Row(123)
+	// Force one swap.
+	for i := 0; i < 60; i++ {
+		s.Activate(logical)
+	}
+	phys := s.Physical(logical)
+	if phys == logical {
+		t.Skip("swap landed back on the identity (chance)")
+	}
+	// The partner's logical row must now live in the old physical row.
+	if got := s.logical(logical); got == logical {
+		t.Fatalf("old physical row %d not reassigned", logical)
+	}
+	if err := s.CheckPermutation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSwapperPermutationProperty drives random traffic and checks the
+// indirection stays a bijection and stays within the bank.
+func TestSwapperPermutationProperty(t *testing.T) {
+	f := func(seed uint64, rowsRaw []uint16) bool {
+		h := swapHydra(t)
+		s := NewSwapper(h, 1024, seed) // 4 banks of 1024 rows
+		for _, r := range rowsRaw {
+			logical := rh.Row(r) % 4096
+			phys, _ := s.Activate(logical)
+			if int(phys)/1024 != int(s.Physical(logical))/1024 {
+				return false
+			}
+			// Swaps must stay within the bank of the aggressor.
+			if int(logical)/1024 != int(s.Physical(logical))/1024 {
+				return false
+			}
+		}
+		return s.CheckPermutation() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapperHammerProperty(t *testing.T) {
+	// Hammering hard via the swapper: total swaps scale with
+	// activations / T_H even under interleaved traffic.
+	h := swapHydra(t)
+	s := NewSwapper(h, 4096, 21)
+	n := 10000
+	for i := 0; i < n; i++ {
+		s.Activate(rh.Row(uint32(i % 3)))
+	}
+	if s.Swaps < int64(n/50/2) {
+		t.Fatalf("swaps = %d over %d acts, want at least %d", s.Swaps, n, n/50/2)
+	}
+	if err := s.CheckPermutation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapperResetWindowForwards(t *testing.T) {
+	h := swapHydra(t)
+	s := NewSwapper(h, 4096, 1)
+	for i := 0; i < 49; i++ {
+		s.Activate(rh.Row(9))
+	}
+	s.ResetWindow()
+	if got := h.GCTValue(rh.Row(9)); got != 0 {
+		t.Fatalf("GCT after reset = %d", got)
+	}
+	// Mappings survive the reset (relocations are durable).
+	if err := s.CheckPermutation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapperSRAMAccounting(t *testing.T) {
+	h := swapHydra(t)
+	s := NewSwapper(h, 4096, 3)
+	base := s.SRAMBytes()
+	for i := 0; i < 120; i++ {
+		s.Activate(rh.Row(77))
+	}
+	if s.SRAMBytes() <= base {
+		t.Fatal("indirection entries not accounted")
+	}
+}
+
+func TestNewSwapperValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad rowsPerBank should panic")
+		}
+	}()
+	NewSwapper(swapHydra(t), 0, 1)
+}

@@ -1,0 +1,108 @@
+// Package power reproduces the paper's power analysis (Section 6.8):
+//
+//   - DRAM power from a Micron-style IDD model: per-operation energy
+//     for activate/precharge pairs, read and write bursts, refresh,
+//     plus background power, computed from a run's memsim statistics.
+//     Hydra's DRAM overhead is the extra energy of RCT accesses and
+//     victim-refresh activations; the paper reports ~0.2%.
+//   - SRAM power for the new structures from CACTI-calibrated
+//     constants at 22 nm: 10.6 mW for the GCT and 8 mW for the RCC
+//     (18.6 mW total).
+package power
+
+import "repro/internal/memsim"
+
+// DRAMEnergyModel holds per-operation energies in picojoules and
+// background power in milliwatts, calibrated to a DDR4-3200 x8 Micron
+// datasheet (values rounded; only ratios matter for the overhead
+// percentages the paper reports).
+type DRAMEnergyModel struct {
+	ActPrePJ     float64 // one activate+precharge pair
+	ReadPJ       float64 // one 64-byte read burst
+	WritePJ      float64 // one 64-byte write burst
+	RefreshPJ    float64 // one all-bank refresh command
+	BackgroundMW float64 // static background power per channel
+}
+
+// DefaultDRAM returns the calibrated DDR4 energy model.
+func DefaultDRAM() DRAMEnergyModel {
+	return DRAMEnergyModel{
+		ActPrePJ:     2500,
+		ReadPJ:       2100,
+		WritePJ:      2300,
+		RefreshPJ:    28000,
+		BackgroundMW: 120,
+	}
+}
+
+// Breakdown itemizes a run's DRAM energy in nanojoules.
+type Breakdown struct {
+	ActivateNJ   float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+
+	// Overhead components attributable to row-hammer tracking.
+	MetaNJ  float64 // RCT / counter line transfers
+	MitigNJ float64 // victim-refresh activations
+}
+
+// Total returns the total DRAM energy in nanojoules.
+func (b Breakdown) Total() float64 {
+	return b.ActivateNJ + b.ReadNJ + b.WriteNJ + b.RefreshNJ + b.BackgroundNJ
+}
+
+// TrackerOverheadPct returns the fraction of total DRAM energy spent
+// on tracking metadata and mitigation, in percent (the paper's ~0.2%).
+func (b Breakdown) TrackerOverheadPct() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.MetaNJ + b.MitigNJ) / t * 100
+}
+
+// DRAMEnergy computes the energy breakdown of a run from its memory
+// statistics, cycle count (3.2 GHz cycles) and channel count.
+func DRAMEnergy(m DRAMEnergyModel, s memsim.Stats, cycles int64, channels int) Breakdown {
+	var b Breakdown
+	pj := func(x float64) float64 { return x / 1000 } // pJ -> nJ
+
+	b.ActivateNJ = pj(float64(s.Activates) * m.ActPrePJ)
+	b.ReadNJ = pj(float64(s.Reads+s.MetaReads) * m.ReadPJ)
+	b.WriteNJ = pj(float64(s.Writes+s.MetaWrites) * m.WritePJ)
+	b.RefreshNJ = pj(float64(s.Refreshes) * m.RefreshPJ)
+	seconds := float64(cycles) / 3.2e9
+	b.BackgroundNJ = m.BackgroundMW * float64(channels) * seconds * 1e6 // mW*s = mJ = 1e6 nJ
+
+	b.MetaNJ = pj(float64(s.MetaReads)*m.ReadPJ + float64(s.MetaWrites)*m.WritePJ)
+	b.MitigNJ = pj(float64(s.MitigActs) * m.ActPrePJ)
+	return b
+}
+
+// SRAMPower holds the CACTI-calibrated 22 nm power of Hydra's new
+// structures (Section 6.8), in milliwatts.
+type SRAMPower struct {
+	GCTmW float64
+	RCCmW float64
+}
+
+// HydraSRAM returns the paper's numbers: 10.6 mW GCT + 8 mW RCC.
+func HydraSRAM() SRAMPower {
+	return SRAMPower{GCTmW: 10.6, RCCmW: 8.0}
+}
+
+// TotalMW returns the combined SRAM power.
+func (p SRAMPower) TotalMW() float64 { return p.GCTmW + p.RCCmW }
+
+// ScaledSRAM scales the structure power linearly with capacity
+// relative to the default 32 K-entry GCT and 8 K-entry RCC, a first-
+// order CACTI approximation used for the sensitivity studies.
+func ScaledSRAM(gctEntries, rccEntries int) SRAMPower {
+	base := HydraSRAM()
+	return SRAMPower{
+		GCTmW: base.GCTmW * float64(gctEntries) / (32 * 1024),
+		RCCmW: base.RCCmW * float64(rccEntries) / (8 * 1024),
+	}
+}

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/memsim"
+)
+
+func TestHydraSRAMMatchesPaper(t *testing.T) {
+	p := HydraSRAM()
+	if p.GCTmW != 10.6 || p.RCCmW != 8.0 {
+		t.Fatalf("SRAM power = %+v, want 10.6/8.0", p)
+	}
+	if got := p.TotalMW(); math.Abs(got-18.6) > 1e-9 {
+		t.Fatalf("total = %v, want 18.6 mW", got)
+	}
+}
+
+func TestScaledSRAM(t *testing.T) {
+	p := ScaledSRAM(64*1024, 16*1024) // 2x structures
+	if math.Abs(p.GCTmW-21.2) > 1e-9 || math.Abs(p.RCCmW-16.0) > 1e-9 {
+		t.Fatalf("scaled = %+v", p)
+	}
+}
+
+func TestDRAMEnergyBreakdown(t *testing.T) {
+	s := memsim.Stats{
+		Reads:      1000,
+		Writes:     300,
+		MetaReads:  10,
+		MetaWrites: 10,
+		MitigActs:  4,
+		Activates:  500,
+		Refreshes:  8,
+	}
+	b := DRAMEnergy(DefaultDRAM(), s, 3_200_000, 2) // 1 ms
+	if b.Total() <= 0 {
+		t.Fatal("non-positive total energy")
+	}
+	// Background: 120 mW x 2 channels x 1 ms = 240 uJ = 240000 nJ.
+	if math.Abs(b.BackgroundNJ-240000) > 1 {
+		t.Fatalf("background = %v nJ, want 240000", b.BackgroundNJ)
+	}
+	// Tracker overhead must be small but positive.
+	pct := b.TrackerOverheadPct()
+	if pct <= 0 || pct > 5 {
+		t.Fatalf("tracker overhead = %v%%", pct)
+	}
+}
+
+func TestTrackerOverheadScalesWithMetaTraffic(t *testing.T) {
+	base := memsim.Stats{Reads: 100000, Activates: 50000, Refreshes: 100}
+	light := base
+	light.MetaReads, light.MetaWrites, light.MitigActs = 100, 100, 10
+	heavy := base
+	heavy.MetaReads, heavy.MetaWrites, heavy.MitigActs = 50000, 50000, 1000
+
+	lp := DRAMEnergy(DefaultDRAM(), light, 32_000_000, 2).TrackerOverheadPct()
+	hp := DRAMEnergy(DefaultDRAM(), heavy, 32_000_000, 2).TrackerOverheadPct()
+	if hp <= lp {
+		t.Fatalf("heavy meta traffic overhead (%v%%) not above light (%v%%)", hp, lp)
+	}
+}
+
+func TestZeroRunHasZeroOverhead(t *testing.T) {
+	b := DRAMEnergy(DefaultDRAM(), memsim.Stats{}, 0, 2)
+	if b.TrackerOverheadPct() != 0 {
+		t.Fatal("empty run has tracker overhead")
+	}
+}

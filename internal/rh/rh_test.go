@@ -1,0 +1,25 @@
+package rh
+
+import "testing"
+
+func TestCountingSink(t *testing.T) {
+	var s CountingSink
+	s.MetaRead(0)
+	s.MetaRead(64)
+	s.MetaWrite(0)
+	if s.Reads != 2 || s.Writes != 1 || s.Total() != 3 {
+		t.Fatalf("sink = %+v", s)
+	}
+}
+
+func TestNullSinkIsNoop(t *testing.T) {
+	var s NullSink
+	s.MetaRead(0) // must not panic
+	s.MetaWrite(0)
+}
+
+func TestInvalidRow(t *testing.T) {
+	if InvalidRow == Row(0) {
+		t.Fatal("InvalidRow collides with row 0")
+	}
+}

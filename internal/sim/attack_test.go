@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dram"
+	"repro/internal/faults"
+)
+
+// TestEndToEndSecurity is the full-system form of Theorem 1: an
+// attacker core hammers a double-sided pattern through the real memory
+// controller (with the victim cores generating background traffic),
+// and the oracle — fed by the controller's actual activation stream,
+// including victim refreshes and RCT-row activations — must see no row
+// reach T_RH.
+func TestEndToEndSecurity(t *testing.T) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 5000})
+	oracle := attack.NewOracle(500)
+
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.KeepStructSize = true // full-size tracker against a real-rate attack
+	cfg.Attack = &AttackSpec{
+		Rows: []uint32{victim - 1, victim + 1}, // double-sided
+		Acts: 40000,
+	}
+	cfg.Observer = oracle
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracle.Safe() {
+		t.Fatalf("violations in full-system run: first %+v", oracle.Violations[0])
+	}
+	if oracle.MaxSeen >= 500 {
+		t.Fatalf("max unmitigated count %d reached T_RH", oracle.MaxSeen)
+	}
+	// The hammering must actually have produced mitigations.
+	if res.Mitigations < 100 {
+		t.Fatalf("only %d mitigations for 40000 hammers", res.Mitigations)
+	}
+	if res.Mem.MitigActs < 4*100 {
+		t.Fatalf("victim refreshes = %d", res.Mem.MitigActs)
+	}
+}
+
+// TestEndToEndBaselineIsVulnerable shows the oracle catching the
+// unprotected system under the same attack.
+func TestEndToEndBaselineIsVulnerable(t *testing.T) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 5000})
+	oracle := attack.NewOracle(500)
+
+	cfg := testConfig(hotProfile(), TrackNone)
+	cfg.Attack = &AttackSpec{Rows: []uint32{victim - 1, victim + 1}, Acts: 4000}
+	cfg.Observer = oracle
+
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Safe() {
+		t.Fatal("unprotected system survived 2000 hammers per aggressor... oracle broken?")
+	}
+}
+
+// TestEndToEndCounterRowPressure hammers rows that collide with many
+// distinct row-groups so the tracker generates heavy RCT traffic; the
+// metadata rows the controller then activates must stay protected by
+// the RIT-ACT guards.
+func TestEndToEndCounterRowPressure(t *testing.T) {
+	oracle := attack.NewOracle(500)
+	cfg := testConfig(hotProfile(), TrackHydra)
+	// Thrash the (scaled, tiny) RCC: hammer rows in many groups.
+	rows := make([]uint32, 64)
+	for i := range rows {
+		rows[i] = uint32(i * 4096)
+	}
+	cfg.Attack = &AttackSpec{Rows: rows, Acts: 60000}
+	cfg.Observer = oracle
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem.MetaReads == 0 {
+		t.Fatal("attack produced no RCT traffic; pressure pattern broken")
+	}
+	if !oracle.Safe() {
+		t.Fatalf("violation under counter-row pressure: %+v", oracle.Violations[0])
+	}
+}
+
+func TestAttackSpecValidation(t *testing.T) {
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.Attack = &AttackSpec{}
+	if _, err := New(cfg); err == nil {
+		t.Error("empty attack spec accepted")
+	}
+	cfg.Attack = &AttackSpec{Rows: []uint32{1 << 30}, Acts: 10}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range attack row accepted")
+	}
+}
+
+// TestWindowResetsFireInSim runs with a short tracking window and
+// verifies the periodic reset path: resets fire, the tracker survives
+// them, and the oracle's straddle accounting stays sound.
+func TestWindowResetsFireInSim(t *testing.T) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 5000})
+	oracle := attack.NewOracle(500)
+
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.KeepStructSize = true
+	cfg.WindowCycles = 500_000 // tiny window: many resets per run
+	cfg.Attack = &AttackSpec{Rows: []uint32{victim - 1, victim + 1}, Acts: 40000}
+	cfg.Observer = oracle
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowResets < 5 {
+		t.Fatalf("window resets = %d, want several", res.WindowResets)
+	}
+	if !oracle.Safe() {
+		t.Fatalf("violation across resets: %+v", oracle.Violations[0])
+	}
+	if res.Mitigations == 0 {
+		t.Fatal("no mitigations despite hammering")
+	}
+}
+
+// TestPhysicalFaultModelEndToEnd attaches the charge-damage model to
+// the full-system simulator: the unprotected baseline suffers actual
+// bit-flips under a double-sided hammer, Hydra keeps the damage below
+// the flip threshold.
+func TestPhysicalFaultModelEndToEnd(t *testing.T) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 5000})
+	spec := &AttackSpec{Rows: []uint32{victim - 1, victim + 1}, Acts: 8000}
+
+	run := func(kind TrackerKind) *faults.Model {
+		model := faults.NewModel(500, 2, mem.RowsPerBank, 0.05)
+		cfg := testConfig(hotProfile(), kind)
+		cfg.KeepStructSize = true
+		cfg.Attack = spec
+		cfg.Observer = model
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return model
+	}
+
+	if m := run(TrackNone); !m.Flipped() {
+		t.Fatalf("baseline survived 4000 hammers per aggressor (max damage %.0f)", m.MaxDamage)
+	}
+	if m := run(TrackHydra); m.Flipped() {
+		t.Fatalf("bit flipped under Hydra: %+v", m.Flips[0])
+	}
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// MitigationPolicy selects what happens when the tracker flags a row.
+type MitigationPolicy string
+
+// Policies.
+const (
+	// MitigateRefresh is the paper's default: refresh Blast victim
+	// rows on each side of the aggressor.
+	MitigateRefresh MitigationPolicy = "refresh"
+	// MitigateRowSwap is the Section 8 future-work policy: migrate the
+	// aggressor's content to a random same-bank row (Randomized
+	// Row-Swap), paying two row migrations instead of four victim
+	// refreshes but durably relocating the hot row.
+	MitigateRowSwap MitigationPolicy = "rowswap"
+	// MitigateThrottle is delay-based access-rate control (the only
+	// policy D-CBF-style trackers support): further activations of a
+	// flagged row are stalled so its rate cannot exceed T_H per
+	// window. The paper's footnote 6 argues this is a denial of
+	// service at ultra-low thresholds; the ext-throttle experiment
+	// reproduces that.
+	MitigateThrottle MitigationPolicy = "throttle"
+)
+
+// demandGate interposes between the cores and the memory system,
+// applying the logical-to-physical row remapping (row swaps) and
+// arrival-time throttling the active policy requires.
+type demandGate struct {
+	s *System
+}
+
+var _ interface {
+	Submit(*memsim.Request) bool
+} = demandGate{}
+
+// Submit implements cpu.Memory.
+func (g demandGate) Submit(r *memsim.Request) bool {
+	s := g.s
+	if len(s.rowRemap) > 0 {
+		loc := s.cfg.Mem.Decode(r.Line)
+		row := s.cfg.Mem.GlobalRow(loc)
+		if phys, ok := s.rowRemap[row]; ok {
+			ploc := s.cfg.Mem.RowLoc(phys)
+			ploc.Col = loc.Col
+			r.Line = s.cfg.Mem.Encode(ploc)
+		}
+	}
+	if len(s.throttled) > 0 {
+		loc := s.cfg.Mem.Decode(r.Line)
+		row := s.cfg.Mem.GlobalRow(loc)
+		if until, ok := s.throttled[row]; ok {
+			if until > r.Arrive {
+				// Rate limiting: this access takes the next slot and
+				// pushes the slot after it a full period out.
+				r.Arrive = until
+				s.throttled[row] = until + s.throttleStep()
+				s.throttleDelays++
+			} else {
+				delete(s.throttled, row)
+			}
+		}
+	}
+	return s.mem.Submit(r)
+}
+
+// performSwap relocates the flagged physical row to a random same-bank
+// row, updating the indirection and enqueueing the migration traffic.
+// Migration is modeled as copying both 8 KB rows: 128 line reads from
+// each source plus 128 line writes to each destination, submitted as
+// metadata-class transfers so they compete for bandwidth without
+// blocking demand reads.
+func (s *System) performSwap(aggPhys uint32, at int64) {
+	rowsPerBank := s.cfg.Mem.RowsPerBank
+	bankBase := aggPhys / uint32(rowsPerBank) * uint32(rowsPerBank)
+	maxRow := uint32(rowsPerBank - 1)
+	if s.region != nil {
+		maxRow = uint32(s.region.MaxDemandRow())
+	}
+	s.swapRNG = s.swapRNG*6364136223846793005 + 1442695040888963407
+	partnerPhys := bankBase + uint32(s.swapRNG>>33)%(maxRow+1)
+	if partnerPhys == aggPhys {
+		partnerPhys = bankBase + (partnerPhys-bankBase+1)%(maxRow+1)
+	}
+
+	aggLog := s.logicalOf(aggPhys)
+	partnerLog := s.logicalOf(partnerPhys)
+	s.setRemap(aggLog, partnerPhys)
+	s.setRemap(partnerLog, aggPhys)
+	s.swaps++
+
+	// Copy traffic: read every line of both rows, write every line of
+	// both rows (the scratch-buffer copy of the RRS design).
+	lines := s.cfg.Mem.LinesPerRow()
+	for _, phys := range [...]uint32{aggPhys, partnerPhys} {
+		loc := s.cfg.Mem.RowLoc(phys)
+		for col := 0; col < lines; col++ {
+			loc.Col = col
+			s.mem.Submit(&memsim.Request{Line: s.cfg.Mem.Encode(loc), Kind: memsim.MetaRead, Arrive: at})
+			s.mem.Submit(&memsim.Request{Line: s.cfg.Mem.Encode(loc), Kind: memsim.MetaWrite, Arrive: at})
+		}
+	}
+}
+
+func (s *System) logicalOf(phys uint32) uint32 {
+	if l, ok := s.rowInverse[phys]; ok {
+		return l
+	}
+	return phys
+}
+
+func (s *System) setRemap(logical, phys uint32) {
+	if logical == phys {
+		delete(s.rowRemap, logical)
+		delete(s.rowInverse, phys)
+		return
+	}
+	s.rowRemap[logical] = phys
+	s.rowInverse[phys] = logical
+}
+
+// throttleStep is the minimum spacing between accesses to a throttled
+// row: the remaining threshold budget spread over a whole window
+// (footnote 6's arithmetic), so its rate cannot exceed T_H per window.
+func (s *System) throttleStep() int64 {
+	th := s.cfg.TRH / 2
+	if th < 1 {
+		th = 1
+	}
+	return s.window / int64(th)
+}
+
+// performThrottle blocks further activations of the flagged row.
+func (s *System) performThrottle(row uint32, at int64) {
+	s.throttled[row] = at + s.throttleStep()
+	s.throttles++
+}
+
+func validPolicy(p MitigationPolicy) error {
+	switch p {
+	case "", MitigateRefresh, MitigateRowSwap, MitigateThrottle:
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown mitigation policy %q", p)
+	}
+}

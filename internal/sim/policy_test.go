@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dram"
+)
+
+func TestRowSwapPolicyInSim(t *testing.T) {
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.Mitigation = MitigateRowSwap
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("hot workload produced no swaps")
+	}
+	if res.Mem.MitigActs != 0 {
+		t.Fatalf("row-swap policy issued %d victim refreshes", res.Mem.MitigActs)
+	}
+	// Each swap migrates two 8 KB rows: 2 x 128 reads + writes.
+	wantMeta := res.Swaps * 256
+	if res.Mem.MetaReads < wantMeta {
+		t.Fatalf("migration reads = %d, want >= %d", res.Mem.MetaReads, wantMeta)
+	}
+}
+
+func TestRowSwapSecurityInSim(t *testing.T) {
+	mem := dram.Baseline()
+	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 5000})
+	oracle := attack.NewOracle(500)
+
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.KeepStructSize = true
+	cfg.Mitigation = MitigateRowSwap
+	cfg.Attack = &AttackSpec{Rows: []uint32{victim - 1, victim + 1}, Acts: 20000}
+	cfg.Observer = oracle
+
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Swaps == 0 {
+		t.Fatal("attack triggered no swaps")
+	}
+	// The demand stream follows the aggressor row logically, but each
+	// physical row it lands on is swapped away before T_RH.
+	if !oracle.Safe() {
+		t.Fatalf("row-swap violated the bound: %+v", oracle.Violations[0])
+	}
+}
+
+func TestThrottlePolicyIsDoSAtUltraLowThreshold(t *testing.T) {
+	// Footnote 6: at T_RH = 500, a throttled row may be accessed once
+	// per window/250 cycles, ~1000x slower than demand rate. The hot
+	// workload (rows with 250+ activations) should crawl.
+	refresh := testConfig(hotProfile(), TrackHydra)
+	refRes, err := Run(refresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttle := testConfig(hotProfile(), TrackHydra)
+	throttle.Mitigation = MitigateThrottle
+	thRes, err := Run(throttle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thRes.Throttles == 0 {
+		t.Fatal("no rows were ever throttled")
+	}
+	slow := float64(thRes.Cycles) / float64(refRes.Cycles)
+	t.Logf("throttle/refresh cycle ratio: %.2f (throttles=%d)", slow, thRes.Throttles)
+	if slow < 2 {
+		t.Fatalf("throttling only %.2fx slower than refresh; footnote 6 predicts DoS", slow)
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	cfg := testConfig(hotProfile(), TrackHydra)
+	cfg.Mitigation = MitigationPolicy("bogus")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

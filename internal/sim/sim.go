@@ -1,0 +1,525 @@
+// Package sim wires the full evaluation system of the paper together:
+// 8 trace-driven cores (internal/cpu), the DDR4 memory system
+// (internal/memsim), a row-hammer tracker (Hydra from internal/core or
+// a baseline from internal/track), the victim-refresh mitigation
+// policy, and the reserved DRAM region holding tracker metadata.
+//
+// Every row activation the memory controller performs — demand, victim
+// refresh or metadata — is fed to the tracker; mitigations become
+// victim-refresh activations (feeding back, the Half-Double defense)
+// and tracker metadata accesses become memory traffic that competes
+// with demand requests. Slowdowns therefore emerge from the same
+// mechanisms as in the paper: bandwidth and bank contention.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/memsim"
+	"repro/internal/mitigate"
+	"repro/internal/rh"
+	"repro/internal/track"
+	"repro/internal/workload"
+)
+
+// TrackerKind selects the tracking scheme.
+type TrackerKind string
+
+// Tracker kinds usable in full-system simulation.
+const (
+	TrackNone       TrackerKind = "none" // non-secure baseline
+	TrackHydra      TrackerKind = "hydra"
+	TrackHydraNoGCT TrackerKind = "hydra-nogct"
+	TrackHydraNoRCC TrackerKind = "hydra-norcc"
+	TrackGraphene   TrackerKind = "graphene"
+	TrackCRA        TrackerKind = "cra"
+	TrackOCPR       TrackerKind = "ocpr"
+	TrackPARA       TrackerKind = "para"
+)
+
+// Config describes one full-system run.
+type Config struct {
+	Mem     dram.Config
+	Profile workload.Profile
+
+	// Scale divides the workload footprint and, unless
+	// KeepStructSize is set, the tracker structures, preserving the
+	// footprint-to-structure ratios of the paper while simulating a
+	// fraction of a 64 ms window.
+	Scale          float64
+	KeepStructSize bool
+
+	Cores int
+	TRH   int
+	Blast int
+	Seed  uint64
+
+	Tracker TrackerKind
+
+	// CRACacheBytes sizes CRA's metadata cache (default 64 KB,
+	// divided across channels as in the paper; here it is the total).
+	CRACacheBytes int
+
+	// HydraGCTEntries / HydraRCCEntries / HydraTG override Hydra's
+	// structure sizes and GCT threshold for the sensitivity studies
+	// (zero keeps the scaled defaults).
+	HydraGCTEntries int
+	HydraRCCEntries int
+	HydraTG         int
+
+	// HydraRandomize enables the cipher-based randomized row-to-group
+	// mapping of footnote 4, rekeyed every window.
+	HydraRandomize bool
+
+	// PARAFailProb sets PARA's per-row failure probability target.
+	PARAFailProb float64
+
+	// TrackMetaRows enables the RIT-ACT path: activations of reserved
+	// metadata rows route to ActivateMeta (on by default via Default).
+	TrackMetaRows bool
+
+	// WriteFrac and Burst forward to the workload generator.
+	WriteFrac float64
+	Burst     int
+
+	// Attack, when non-nil, replaces core 0 with an attacker thread
+	// hammering the given rows (see AttackSpec).
+	Attack *AttackSpec
+
+	// Observer, when non-nil, receives every activation and
+	// mitigation the controller performs, for security oracles.
+	Observer Observer
+
+	// WindowCycles overrides the tracking-window length in core
+	// cycles (0 = the real 64 ms, memsim.WindowCycles). Tests use a
+	// short window to exercise the reset path.
+	WindowCycles int64
+
+	// Mitigation selects what a tracker flag triggers: victim refresh
+	// (default), randomized row-swap, or delay throttling.
+	Mitigation MitigationPolicy
+
+	// Traces, when non-empty, replaces the synthetic workload with
+	// one pre-recorded trace source per core (see internal/trace);
+	// Cores is ignored and Profile is used only for labeling.
+	Traces []cpu.TraceSource
+}
+
+// Default returns the paper's baseline run configuration for a profile.
+func Default(p workload.Profile) Config {
+	return Config{
+		Mem:           dram.Baseline(),
+		Profile:       p,
+		Scale:         16,
+		Cores:         8,
+		TRH:           500,
+		Blast:         mitigate.DefaultBlast,
+		Seed:          1,
+		Tracker:       TrackHydra,
+		CRACacheBytes: 64 * 1024,
+		PARAFailProb:  1e-9,
+		TrackMetaRows: true,
+		WriteFrac:     0.25,
+		Burst:         2,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload    string
+	Tracker     string
+	Cycles      int64 // completion time of the slowest core
+	Insts       int64
+	Mem         memsim.Stats
+	Mitigations int64 // mitigation decisions taken by the tracker
+	SRAMBytes   int
+	// ActsByKind counts activations by the request kind that caused
+	// them, indexed by memsim.Kind.
+	ActsByKind [5]int64
+	// WindowResets counts tracking-window resets during the run.
+	WindowResets int64
+	// Swaps / Throttles count policy actions under the row-swap and
+	// throttle mitigation policies.
+	Swaps     int64
+	Throttles int64
+	Hydra     *core.Stats // set for Hydra runs
+	CRA       *craStats   // set for CRA runs
+}
+
+type craStats struct {
+	Hits        int64
+	MissFetches int64
+	Writebacks  int64
+}
+
+// IPC returns instructions per cycle across all cores.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// System is one assembled full-system simulation.
+type System struct {
+	cfg     Config
+	mem     *memsim.Memory
+	cores   []*cpu.Core
+	tracker rh.Tracker
+	region  *dram.ReservedRegion
+
+	now         int64 // time of the activation hook currently running
+	window      int64
+	nextReset   int64
+	resets      int64
+	mitigations int64
+	actsByKind  [5]int64
+
+	// Row-swap policy state.
+	rowRemap   map[uint32]uint32 // logical -> physical
+	rowInverse map[uint32]uint32 // physical -> logical
+	swapRNG    uint64
+	swaps      int64
+
+	// Throttle policy state.
+	throttled      map[uint32]int64 // row -> earliest next access
+	throttles      int64
+	throttleDelays int64
+}
+
+// New assembles a system. The tracker structures are scaled per
+// cfg.Scale unless KeepStructSize is set.
+func New(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: Cores must be positive")
+	}
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	window := cfg.WindowCycles
+	if window <= 0 {
+		window = memsim.WindowCycles
+	}
+	if err := validPolicy(cfg.Mitigation); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:        cfg,
+		window:     window,
+		nextReset:  window,
+		rowRemap:   make(map[uint32]uint32),
+		rowInverse: make(map[uint32]uint32),
+		swapRNG:    cfg.Seed ^ 0x0ddba11c0ffee,
+		throttled:  make(map[uint32]int64),
+	}
+
+	mcfg := memsim.DefaultConfig(cfg.Mem)
+	mcfg.OnACT = s.onACT
+	s.mem = memsim.New(mcfg)
+
+	if err := s.makeTracker(&cfg); err != nil {
+		return nil, err
+	}
+	if s.tracker != nil && s.tracker.MetaRows() > 0 {
+		s.region = dram.NewReservedRegion(cfg.Mem, s.tracker.MetaRows())
+	}
+
+	maxDemand := cfg.Mem.RowsPerBank - 1
+	if s.region != nil {
+		maxDemand = s.region.MaxDemandRow()
+	} else {
+		// Reserve the worst-case metadata area anyway so that all
+		// trackers see the identical demand footprint.
+		maxDemand = cfg.Mem.RowsPerBank - 17
+	}
+
+	scfg := workload.StreamConfig{
+		Mem:          cfg.Mem,
+		MaxDemandRow: maxDemand,
+		Cores:        cfg.Cores,
+		Scale:        cfg.Scale,
+		Burst:        cfg.Burst,
+		WriteFrac:    cfg.WriteFrac,
+		Seed:         cfg.Seed,
+	}
+	if len(cfg.Traces) > 0 {
+		for i, src := range cfg.Traces {
+			s.cores = append(s.cores, cpu.New(i, cpu.DefaultConfig(), src, demandGate{s}))
+		}
+	} else {
+		for i := 0; i < cfg.Cores; i++ {
+			sc := scfg
+			sc.CoreID = i
+			stream, err := workload.NewStream(cfg.Profile, sc)
+			if err != nil {
+				return nil, err
+			}
+			s.cores = append(s.cores, cpu.New(i, cpu.DefaultConfig(), stream, demandGate{s}))
+		}
+	}
+	if err := s.installAttack(cfg.Attack); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *System) structScale() float64 {
+	if s.cfg.KeepStructSize {
+		return 1
+	}
+	return s.cfg.Scale
+}
+
+func scaleEntries(n int, f float64) int {
+	v := int(float64(n)/f + 0.5)
+	if v < 16 {
+		v = 16
+	}
+	return v
+}
+
+func (s *System) makeTracker(cfg *Config) error {
+	geom := track.Geometry{
+		Rows:        cfg.Mem.TotalRows(),
+		RowsPerBank: cfg.Mem.RowsPerBank,
+		Banks:       cfg.Mem.TotalBanks(),
+		ACTMax:      1360000,
+	}
+	f := s.structScale()
+	switch cfg.Tracker {
+	case TrackNone:
+		s.tracker = nil
+		return nil
+	case TrackHydra, TrackHydraNoGCT, TrackHydraNoRCC:
+		hc := core.ForThreshold(cfg.TRH)
+		hc.Rows = cfg.Mem.TotalRows()
+		hc.RowBytes = cfg.Mem.RowBytes
+		hc.GCTEntries = scaleEntries(hc.GCTEntries, f)
+		hc.RCCEntries = scaleEntries(hc.RCCEntries, f)
+		if cfg.HydraGCTEntries > 0 {
+			hc.GCTEntries = scaleEntries(cfg.HydraGCTEntries, f)
+		}
+		if cfg.HydraRCCEntries > 0 {
+			hc.RCCEntries = scaleEntries(cfg.HydraRCCEntries, f)
+		}
+		if cfg.HydraTG > 0 {
+			hc.TG = cfg.HydraTG
+		}
+		hc.RCCWays = 16
+		for hc.RCCEntries%hc.RCCWays != 0 {
+			hc.RCCEntries++
+		}
+		hc.NoGCT = cfg.Tracker == TrackHydraNoGCT
+		hc.NoRCC = cfg.Tracker == TrackHydraNoRCC
+		hc.Randomize = cfg.HydraRandomize
+		hc.Seed = cfg.Seed
+		t, err := core.New(hc, metaSink{s})
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackGraphene:
+		t, err := track.NewGraphene(geom, cfg.TRH)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackCRA:
+		bytes := cfg.CRACacheBytes
+		if bytes <= 0 {
+			bytes = 64 * 1024
+		}
+		bytes = int(float64(bytes) / f)
+		if bytes < 1024 {
+			bytes = 1024
+		}
+		t, err := track.NewCRA(geom, cfg.TRH, bytes, metaSink{s})
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackOCPR:
+		t, err := track.NewOCPR(geom, cfg.TRH)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackPARA:
+		fail := cfg.PARAFailProb
+		if fail <= 0 {
+			fail = 1e-9
+		}
+		t, err := track.NewPARA(cfg.TRH, fail, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	default:
+		return fmt.Errorf("sim: unknown tracker kind %q", cfg.Tracker)
+	}
+}
+
+// metaSink converts tracker metadata traffic into memory requests at
+// the time of the activation being processed.
+type metaSink struct{ s *System }
+
+func (k metaSink) MetaRead(off uint64)  { k.s.submitMeta(off, memsim.MetaRead) }
+func (k metaSink) MetaWrite(off uint64) { k.s.submitMeta(off, memsim.MetaWrite) }
+
+func (s *System) submitMeta(off uint64, kind memsim.Kind) {
+	var line uint64
+	if s.region != nil {
+		line = s.region.LineAddr(off)
+	} else {
+		line = off / dram.LineBytes
+	}
+	s.mem.Submit(&memsim.Request{Line: line, Kind: kind, Arrive: s.now})
+}
+
+// onACT is the controller's activation hook: it routes the activation
+// to the tracker and turns mitigations into victim-refresh requests.
+func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
+	s.actsByKind[kind]++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Activated(rh.Row(row))
+	}
+	if s.tracker == nil {
+		return
+	}
+	s.now = at
+	var mitig bool
+	if s.region != nil {
+		if idx, ok := s.region.MetaIndex(row); ok {
+			mitig = s.tracker.ActivateMeta(idx)
+		} else {
+			mitig = s.tracker.Activate(rh.Row(row))
+		}
+	} else {
+		mitig = s.tracker.Activate(rh.Row(row))
+	}
+	if !mitig {
+		return
+	}
+	s.mitigations++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.Mitigated(rh.Row(row))
+	}
+	switch s.cfg.Mitigation {
+	case MitigateRowSwap:
+		s.performSwap(row, at)
+	case MitigateThrottle:
+		s.performThrottle(row, at)
+	default:
+		for _, victim := range s.cfg.Mem.Victims(row, s.cfg.Blast) {
+			loc := s.cfg.Mem.RowLoc(victim)
+			s.mem.Submit(&memsim.Request{
+				Line:   s.cfg.Mem.Encode(loc),
+				Kind:   memsim.MitigAct,
+				Arrive: at,
+			})
+		}
+	}
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *System) Run() (Result, error) {
+	const maxSteps = int64(2e9) // hard safety stop
+	for steps := int64(0); ; steps++ {
+		if steps > maxSteps {
+			return Result{}, fmt.Errorf("sim: exceeded %d steps; likely deadlock", maxSteps)
+		}
+		next := s.mem.NextTime()
+		var coreNext *cpu.Core
+		for _, c := range s.cores {
+			if t := c.NextTime(); t < next {
+				next = t
+				coreNext = c
+			}
+		}
+		if next == memsim.Infinity {
+			if s.allDone() {
+				break
+			}
+			return Result{}, fmt.Errorf("sim: deadlock: cores blocked with idle memory")
+		}
+		if next >= s.nextReset {
+			if s.tracker != nil {
+				s.tracker.ResetWindow()
+			}
+			if wr, ok := s.cfg.Observer.(interface{ WindowReset() }); ok {
+				wr.WindowReset()
+			}
+			s.nextReset += s.window
+			s.resets++
+			continue
+		}
+		if coreNext != nil {
+			coreNext.Step()
+		} else {
+			s.mem.Step()
+		}
+	}
+	if fin, ok := s.cfg.Observer.(interface{ Finish() }); ok {
+		fin.Finish()
+	}
+	return s.result(), nil
+}
+
+func (s *System) allDone() bool {
+	if !s.mem.Idle() {
+		return false
+	}
+	for _, c := range s.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *System) result() Result {
+	r := Result{
+		Workload:     s.cfg.Profile.Name,
+		Tracker:      string(s.cfg.Tracker),
+		Mem:          s.mem.Stats(),
+		Mitigations:  s.mitigations,
+		ActsByKind:   s.actsByKind,
+		WindowResets: s.resets,
+		Swaps:        s.swaps,
+		Throttles:    s.throttles,
+	}
+	for _, c := range s.cores {
+		if c.FinishTime() > r.Cycles {
+			r.Cycles = c.FinishTime()
+		}
+		r.Insts += c.Insts
+	}
+	if s.tracker != nil {
+		r.SRAMBytes = s.tracker.SRAMBytes()
+		if h, ok := s.tracker.(*core.Tracker); ok {
+			st := h.Stats()
+			r.Hydra = &st
+		}
+		if c, ok := s.tracker.(*track.CRA); ok {
+			r.CRA = &craStats{Hits: c.Hits, MissFetches: c.MissFetches, Writebacks: c.Writebacks}
+		}
+	}
+	return r
+}
+
+// Run builds a system from cfg and runs it: the one-call entry point.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

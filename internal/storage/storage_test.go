@@ -1,0 +1,147 @@
+package storage
+
+import "testing"
+
+// near reports whether got is within tol (fractional) of want.
+func near(got, want int, tol float64) bool {
+	d := float64(got)/float64(want) - 1
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// TestTable1Anchors pins every numeric cell of the paper's Table 1
+// (within 15%: the paper rounds to whole KB/MB).
+func TestTable1Anchors(t *testing.T) {
+	r := PaperRank()
+	kb := func(x float64) int { return int(x * 1024) }
+	mb := func(x float64) int { return int(x * 1024 * 1024) }
+	cases := []struct {
+		name string
+		f    func(Rank, int) int
+		trh  int
+		want int
+	}{
+		{"graphene@250", GrapheneBytes, 250, kb(679)},
+		{"graphene@500", GrapheneBytes, 500, kb(340)},
+		{"graphene@1000", GrapheneBytes, 1000, kb(170)},
+		{"graphene@32000", GrapheneBytes, 32000, kb(5)},
+		{"twice@500", TWiCEBytes, 500, mb(2.3)},
+		{"twice@1000", TWiCEBytes, 1000, mb(1.2)},
+		{"twice@32000", TWiCEBytes, 32000, kb(37)},
+		{"cat@500", CATBytes, 500, mb(1.5)},
+		{"cat@1000", CATBytes, 1000, kb(784)},
+		{"cat@32000", CATBytes, 32000, kb(25)},
+		{"dcbf@250", DCBFBytes, 250, mb(1.5)},
+		{"dcbf@500", DCBFBytes, 500, kb(768)},
+		{"dcbf@1000", DCBFBytes, 1000, kb(384)},
+		{"ocpr@250", OCPRBytes, 250, mb(2.0)},
+		{"ocpr@500", OCPRBytes, 500, mb(2.3)},
+		{"ocpr@1000", OCPRBytes, 1000, mb(2.5)},
+		{"ocpr@32000", OCPRBytes, 32000, mb(3.8)},
+	}
+	for _, tc := range cases {
+		got := tc.f(r, tc.trh)
+		if !near(got, tc.want, 0.15) {
+			t.Errorf("%s = %s, want ~%s", tc.name, FormatBytes(got), FormatBytes(tc.want))
+		}
+	}
+}
+
+func TestTable1HydraGoal(t *testing.T) {
+	// The paper's goal column: <= 64 KB per rank at every ultra-low
+	// threshold. Hydra's storage is per-system (two ranks), so halve.
+	for _, trh := range []int{250, 500, 1000} {
+		perRank := HydraBytes(trh) / 2
+		if perRank > 64*1024 {
+			t.Errorf("hydra at TRH=%d: %s per rank, want <= 64 KB", trh, FormatBytes(perRank))
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(PaperRank(), 250, 500, 1000, 32000)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Tracker storage must grow as the threshold shrinks.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Graphene >= rows[i-1].Graphene {
+			t.Errorf("graphene not shrinking with rising TRH: %+v", rows)
+		}
+		if rows[i].TWiCE >= rows[i-1].TWiCE || rows[i].CAT >= rows[i-1].CAT || rows[i].DCBF >= rows[i-1].DCBF {
+			t.Errorf("tracker storage not monotonic: %+v", rows)
+		}
+	}
+	// OCPR barely changes (counter width only).
+	if !near(rows[0].OCPR, rows[3].OCPR, 1.0) {
+		t.Errorf("OCPR at 250 (%d) vs 32000 (%d) differ too much", rows[0].OCPR, rows[3].OCPR)
+	}
+}
+
+// TestTable5Anchors pins the paper's Table 5 at T_RH = 500.
+func TestTable5Anchors(t *testing.T) {
+	rows := Table5(500)
+	want := map[string][2]int{
+		"graphene": {680 * 1024, 1400 * 1024},
+		"twice":    {4823450, 9646899},
+		"cat":      {3 * 1024 * 1024, 6 * 1024 * 1024},
+		"dcbf":     {int(1.5 * 1024 * 1024), int(1.5 * 1024 * 1024)},
+		"hydra":    {57856, 57856},
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		w, ok := want[row.Scheme]
+		if !ok {
+			t.Errorf("unexpected scheme %q", row.Scheme)
+			continue
+		}
+		seen[row.Scheme] = true
+		if !near(row.DDR4, w[0], 0.15) {
+			t.Errorf("%s DDR4 = %s, want ~%s", row.Scheme, FormatBytes(row.DDR4), FormatBytes(w[0]))
+		}
+		if !near(row.DDR5, w[1], 0.15) {
+			t.Errorf("%s DDR5 = %s, want ~%s", row.Scheme, FormatBytes(row.DDR5), FormatBytes(w[1]))
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("schemes covered: %v", seen)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	s := Table4()
+	if s.TotalBytes != 56*1024+512 {
+		t.Fatalf("Hydra total = %s, want 56.5 KB", FormatBytes(s.TotalBytes))
+	}
+}
+
+func TestPerBankSchemesDoubleOnDDR5(t *testing.T) {
+	rows := Table5(500)
+	for _, row := range rows {
+		switch row.Scheme {
+		case "graphene", "twice", "cat":
+			if !near(row.DDR5, 2*row.DDR4, 0.01) {
+				t.Errorf("%s: DDR5 (%d) != 2x DDR4 (%d)", row.Scheme, row.DDR5, row.DDR4)
+			}
+		case "dcbf", "hydra":
+			if row.DDR5 != row.DDR4 {
+				t.Errorf("%s: DDR5 (%d) != DDR4 (%d); should not grow", row.Scheme, row.DDR5, row.DDR4)
+			}
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		512:             "512 B",
+		56*1024 + 512:   "56.5 KB",
+		3 * 1024 * 1024: "3.0 MB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReaderNeverPanics feeds arbitrary bytes to the reader: corrupt
+// traces must fail with an error, never a panic or a hang.
+func FuzzReaderNeverPanics(f *testing.F) {
+	f.Add([]byte("HYDRATRC\x01"))
+	f.Add([]byte("HYDRATRC\x01\x05\x00\x02"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: fine
+		}
+		for i := 0; i < 1_000_000; i++ {
+			if _, ok := r.Next(); !ok {
+				return
+			}
+		}
+		t.Fatal("reader produced a million records from fuzz input; runaway")
+	})
+}

@@ -1,0 +1,148 @@
+// Package trace provides a compact binary on-disk format for memory
+// traces, so users can capture the synthetic workloads (or bring their
+// own, e.g. converted pintool traces) and replay them through the
+// simulator deterministically.
+//
+// Format: an 8-byte magic "HYDRATRC", a format-version byte, then one
+// record per request:
+//
+//	uvarint gap        non-memory instructions before the access
+//	byte    flags      bit0 = write
+//	varint  lineDelta  line address as a zig-zag delta from the
+//	                   previous record's line (traces have locality, so
+//	                   deltas compress well)
+//
+// The format is streaming: Writer and Reader never hold the whole
+// trace in memory.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+var magic = [9]byte{'H', 'Y', 'D', 'R', 'A', 'T', 'R', 'C', 1}
+
+// ErrBadMagic reports a stream that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic (not a hydra trace file)")
+
+// Writer streams requests to a trace file.
+type Writer struct {
+	w        *bufio.Writer
+	prevLine uint64
+	buf      [2*binary.MaxVarintLen64 + 1]byte
+	n        int64
+}
+
+// NewWriter writes the header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one request.
+func (w *Writer) Write(r workload.Request) error {
+	n := binary.PutUvarint(w.buf[:], uint64(r.Gap))
+	flags := byte(0)
+	if r.Write {
+		flags = 1
+	}
+	w.buf[n] = flags
+	n++
+	n += binary.PutVarint(w.buf[n:], int64(r.Line)-int64(w.prevLine))
+	w.prevLine = r.Line
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams requests from a trace file. It implements
+// cpu.TraceSource: Next returns false at EOF or on a corrupt record,
+// in which case Err reports the cause.
+type Reader struct {
+	r        *bufio.Reader
+	prevLine uint64
+	err      error
+	n        int64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [9]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next request; ok is false at end of trace.
+func (t *Reader) Next() (workload.Request, bool) {
+	if t.err != nil {
+		return workload.Request{}, false
+	}
+	gap, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if err != io.EOF {
+			t.err = fmt.Errorf("trace: record %d gap: %w", t.n, err)
+		}
+		return workload.Request{}, false
+	}
+	flags, err := t.r.ReadByte()
+	if err != nil {
+		t.err = fmt.Errorf("trace: record %d flags: %w", t.n, err)
+		return workload.Request{}, false
+	}
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("trace: record %d line: %w", t.n, err)
+		return workload.Request{}, false
+	}
+	line := uint64(int64(t.prevLine) + delta)
+	t.prevLine = line
+	t.n++
+	return workload.Request{Gap: int(gap), Write: flags&1 != 0, Line: line}, true
+}
+
+// Err reports a mid-stream decoding error (nil for a clean EOF).
+func (t *Reader) Err() error { return t.err }
+
+// Count returns the number of records read so far.
+func (t *Reader) Count() int64 { return t.n }
+
+// Record drains a stream into the writer and returns the record count.
+func Record(w *Writer, src interface {
+	Next() (workload.Request, bool)
+}) (int64, error) {
+	var n int64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return n, w.Flush()
+		}
+		if err := w.Write(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,61 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/rh"
+)
+
+// BenchmarkGrapheneActivate measures the Misra-Gries update, the
+// operation a CAM performs in one cycle in hardware.
+func BenchmarkGrapheneActivate(b *testing.B) {
+	g := MustNewGraphene(BaselineGeometry(), 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Activate(rh.Row(uint32(i*31) % (4 * 1024 * 1024)))
+	}
+}
+
+// BenchmarkGrapheneThrash measures the replacement-heavy regime an
+// attacker induces.
+func BenchmarkGrapheneThrash(b *testing.B) {
+	geom := BaselineGeometry()
+	g := MustNewGraphene(geom, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Activate(rh.Row(uint32(i) % uint32(geom.RowsPerBank))) // one bank, wide footprint
+	}
+}
+
+// BenchmarkCRAActivate measures a counter update through the metadata
+// cache.
+func BenchmarkCRAActivate(b *testing.B) {
+	c := MustNewCRA(BaselineGeometry(), 500, 64*1024, rh.NullSink{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Activate(rh.Row(uint32(i*31) % (4 * 1024 * 1024)))
+	}
+}
+
+// BenchmarkOCPRActivate is the exact-counter lower bound.
+func BenchmarkOCPRActivate(b *testing.B) {
+	o := MustNewOCPR(BaselineGeometry(), 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Activate(rh.Row(uint32(i*31) % (4 * 1024 * 1024)))
+	}
+}
+
+// BenchmarkDCBFActivate measures the triple-hash dual-filter update.
+func BenchmarkDCBFActivate(b *testing.B) {
+	d := MustNewDCBF(BaselineGeometry(), 500, 0, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Activate(rh.Row(uint32(i*31) % (4 * 1024 * 1024)))
+	}
+}

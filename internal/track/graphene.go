@@ -1,0 +1,191 @@
+package track
+
+import (
+	"fmt"
+
+	"repro/internal/rh"
+)
+
+// Graphene implements the Misra-Gries-based tracker of Park et al.
+// (MICRO 2020), the paper's SRAM state of the art. Each bank owns a
+// table of (row, count) entries plus a spillover counter:
+//
+//   - a hit increments the entry's count;
+//   - a miss, with the table full, replaces an entry whose count
+//     equals the spillover counter, inheriting spillover+1 (a
+//     conservative overestimate of the new row's true count);
+//   - if no entry sits at the spillover floor, the spillover counter
+//     itself is incremented.
+//
+// An entry's estimated count never undercounts the row's true count,
+// so issuing a mitigation whenever the estimate advances by the
+// operating threshold guarantees detection. Sized per the paper
+// (Section 4.1): ceil(ACTMax / (T_RH/2)) entries per bank, about 5441
+// at T_RH = 500.
+//
+// Hardware performs the floor search with a CAM; this implementation
+// keeps an exact count->rows index so every operation is O(1), making
+// the software model fast enough to drive full-window simulations.
+type Graphene struct {
+	geom      Geometry
+	threshold int // mitigation threshold (T_RH/2)
+	perBank   int // entries per bank
+	banks     []grapheneBank
+
+	// Mitigations counts mitigations issued over the tracker lifetime.
+	Mitigations int64
+}
+
+type grapheneEntry struct {
+	count     int
+	lastMitig int // estimate at the last mitigation
+}
+
+type grapheneBank struct {
+	entries   map[rh.Row]*grapheneEntry
+	byCount   map[int]map[rh.Row]struct{} // count -> resident rows at that count
+	spillover int
+	capacity  int
+}
+
+var _ rh.Tracker = (*Graphene)(nil)
+
+// NewGraphene creates a Graphene tracker for the target T_RH.
+func NewGraphene(geom Geometry, trh int) (*Graphene, error) {
+	if geom.Rows <= 0 || geom.RowsPerBank <= 0 || geom.ACTMax <= 0 || geom.Banks <= 0 {
+		return nil, fmt.Errorf("track: invalid geometry %+v", geom)
+	}
+	if trh <= 1 {
+		return nil, fmt.Errorf("track: TRH must exceed 1, got %d", trh)
+	}
+	t := mitigationThreshold(trh)
+	perBank := (geom.ACTMax + t - 1) / t
+	g := &Graphene{
+		geom:      geom,
+		threshold: t,
+		perBank:   perBank,
+		banks:     make([]grapheneBank, geom.Banks),
+	}
+	for i := range g.banks {
+		g.banks[i] = newGrapheneBank(perBank)
+	}
+	return g, nil
+}
+
+func newGrapheneBank(capacity int) grapheneBank {
+	return grapheneBank{
+		entries:  make(map[rh.Row]*grapheneEntry),
+		byCount:  make(map[int]map[rh.Row]struct{}),
+		capacity: capacity,
+	}
+}
+
+// MustNewGraphene is NewGraphene for statically valid parameters.
+func MustNewGraphene(geom Geometry, trh int) *Graphene {
+	g, err := NewGraphene(geom, trh)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements rh.Tracker.
+func (g *Graphene) Name() string { return "graphene" }
+
+// EntriesPerBank returns the table size per bank (5441-ish at T_RH 500).
+func (g *Graphene) EntriesPerBank() int { return g.perBank }
+
+// Threshold returns the operating (mitigation) threshold, T_RH/2.
+func (g *Graphene) Threshold() int { return g.threshold }
+
+func (b *grapheneBank) setCount(row rh.Row, e *grapheneEntry, newCount int) {
+	if set, ok := b.byCount[e.count]; ok {
+		delete(set, row)
+		if len(set) == 0 {
+			delete(b.byCount, e.count)
+		}
+	}
+	e.count = newCount
+	set := b.byCount[newCount]
+	if set == nil {
+		set = make(map[rh.Row]struct{})
+		b.byCount[newCount] = set
+	}
+	set[row] = struct{}{}
+}
+
+// Activate implements rh.Tracker.
+func (g *Graphene) Activate(row rh.Row) bool {
+	b := &g.banks[g.geom.bank(row)]
+	if e, ok := b.entries[row]; ok {
+		b.setCount(row, e, e.count+1)
+		if e.count-e.lastMitig >= g.threshold {
+			e.lastMitig = e.count
+			g.Mitigations++
+			return true
+		}
+		return false
+	}
+	if len(b.entries) < b.capacity {
+		e := &grapheneEntry{count: -1} // setCount fixes the index
+		b.entries[row] = e
+		b.setCount(row, e, 1)
+		return false
+	}
+	// Table full: replace a row stranded at the spillover floor.
+	if floor, ok := b.byCount[b.spillover]; ok {
+		var victim rh.Row
+		for victim = range floor {
+			break
+		}
+		ve := b.entries[victim]
+		delete(floor, victim)
+		if len(floor) == 0 {
+			delete(b.byCount, b.spillover)
+		}
+		delete(b.entries, victim)
+		ve.lastMitig = b.spillover
+		ve.count = -1
+		b.entries[row] = ve
+		b.setCount(row, ve, b.spillover+1)
+		if ve.count-ve.lastMitig >= g.threshold {
+			ve.lastMitig = ve.count
+			g.Mitigations++
+			return true
+		}
+		return false
+	}
+	b.spillover++
+	return false
+}
+
+// ActivateMeta implements rh.Tracker; Graphene has no DRAM metadata.
+func (g *Graphene) ActivateMeta(int) bool { return false }
+
+// MetaRows implements rh.Tracker.
+func (g *Graphene) MetaRows() int { return 0 }
+
+// ResetWindow implements rh.Tracker.
+func (g *Graphene) ResetWindow() {
+	for i := range g.banks {
+		g.banks[i] = newGrapheneBank(g.perBank)
+	}
+}
+
+// SRAMBytes implements rh.Tracker: 4 bytes per CAM entry (row tag plus
+// counter), the calibration that reproduces the paper's Table 1 column
+// (340 KB per 16-bank rank at T_RH = 500).
+func (g *Graphene) SRAMBytes() int {
+	return g.perBank * g.geom.Banks * 4
+}
+
+// EstimatedCount returns the tracker's estimate for a row: its entry
+// count when resident, the spillover floor otherwise. The estimate
+// never undercounts the true count.
+func (g *Graphene) EstimatedCount(row rh.Row) int {
+	b := &g.banks[g.geom.bank(row)]
+	if e, ok := b.entries[row]; ok {
+		return e.count
+	}
+	return b.spillover
+}

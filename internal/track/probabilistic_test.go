@@ -1,0 +1,106 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/rh"
+)
+
+func TestProHITDetectsNaiveHammer(t *testing.T) {
+	p := MustNewProHIT(testGeom(), 0.25, 7)
+	row := rh.Row(5)
+	mitigs := 0
+	for i := 0; i < 5000; i++ {
+		if p.Activate(row) {
+			mitigs++
+		}
+	}
+	if mitigs == 0 {
+		t.Fatal("naive single-row hammer never mitigated")
+	}
+}
+
+func TestProHITPromotionPath(t *testing.T) {
+	p := MustNewProHIT(testGeom(), 1.0, 7) // deterministic insertion
+	row := rh.Row(9)
+	// Miss -> cold; cold hit -> hot list (empty, so instantly top);
+	// the next hit is a top hit and mitigates.
+	mitigatedAt := -1
+	for i := 1; i <= 10; i++ {
+		if p.Activate(row) {
+			mitigatedAt = i
+			break
+		}
+	}
+	if mitigatedAt != 3 {
+		t.Fatalf("mitigation at activation %d, want 3 (insert, promote, top hit)", mitigatedAt)
+	}
+}
+
+func TestProHITValidation(t *testing.T) {
+	if _, err := NewProHIT(testGeom(), 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewProHIT(testGeom(), 1.5, 1); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := NewProHIT(Geometry{}, 0.5, 1); err == nil {
+		t.Error("empty geometry accepted")
+	}
+}
+
+func TestMRLoCDetectsLocalHammer(t *testing.T) {
+	m := MustNewMRLoC(testGeom(), 3)
+	row := rh.Row(4)
+	mitigs := 0
+	for i := 0; i < 2000; i++ {
+		if m.Activate(row) {
+			mitigs++
+		}
+	}
+	if mitigs == 0 {
+		t.Fatal("local hammer never mitigated")
+	}
+	// Locality-driven probability: mitigations should be frequent for
+	// a resident hammered row (p reaches 1 after 16 hits).
+	if mitigs < 50 {
+		t.Fatalf("mitigations = %d, suspiciously rare", mitigs)
+	}
+}
+
+// TestMRLoCFlushedByOneOffRows demonstrates the evasion: interleaving
+// enough distinct rows between hammer hits flushes the aggressor from
+// the queue, so its hit count never accumulates.
+func TestMRLoCFlushedByOneOffRows(t *testing.T) {
+	m := MustNewMRLoC(testGeom(), 3)
+	target := rh.Row(4)
+	mitigs := 0
+	for i := 0; i < 20000; i++ {
+		if i%(mrlocQueueEntries+1) == 0 {
+			if m.Activate(target) {
+				mitigs++
+			}
+			continue
+		}
+		// Same bank, never the target, no repeat within queue depth.
+		m.Activate(rh.Row(5 + i%250))
+	}
+	// ~1800 target activations with the queue always flushed: far
+	// beyond T_RH without mitigation.
+	if mitigs != 0 {
+		t.Fatalf("flush pattern still mitigated %d times", mitigs)
+	}
+}
+
+func TestProbabilisticTrackersInterface(t *testing.T) {
+	for _, tr := range []rh.Tracker{
+		MustNewProHIT(testGeom(), 0.25, 1),
+		MustNewMRLoC(testGeom(), 1),
+	} {
+		if tr.SRAMBytes() <= 0 || tr.MetaRows() != 0 || tr.ActivateMeta(0) {
+			t.Errorf("%s: interface contract broken", tr.Name())
+		}
+		tr.Activate(rh.Row(0))
+		tr.ResetWindow()
+	}
+}

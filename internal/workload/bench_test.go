@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+)
+
+// BenchmarkStreamNext measures trace-generation speed, which bounds
+// how cheaply the harness can feed eight cores.
+func BenchmarkStreamNext(b *testing.B) {
+	p, err := ByName("parest")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := dram.Baseline()
+	cfg := DefaultStreamConfig(mem, mem.RowsPerBank-17)
+	cfg.ActBudget = 1 << 30
+	s := MustNewStream(p, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}
+
+// BenchmarkGUPSStream measures the random-access generator.
+func BenchmarkGUPSStream(b *testing.B) {
+	p, err := ByName("GUPS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := dram.Baseline()
+	cfg := DefaultStreamConfig(mem, mem.RowsPerBank-17)
+	cfg.ActBudget = 1 << 30
+	s := MustNewStream(p, cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}
