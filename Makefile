@@ -1,0 +1,36 @@
+# Convenience targets; everything below is plain go-tool invocations.
+
+GO       ?= go
+SCALE    ?= 64
+BENCHOUT ?= BENCH_pr1.json
+
+.PHONY: all build test bench bench-json figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the bar every PR must clear.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -benchmem ./...
+
+# bench-json writes the machine-readable perf trajectory artifact: a
+# fast, fixed sweep (fig5 on a representative workload subset) whose
+# hydra-report-file/v1 output is comparable across PRs. CI-friendly:
+# exits non-zero on any failure, no interactive output needed.
+# Override SCALE/BENCHOUT: `make bench-json SCALE=16 BENCHOUT=out.json`
+bench-json:
+	$(GO) run ./cmd/experiments -scale $(SCALE) \
+		-workloads parest,bwaves,GUPS,leela -json $(BENCHOUT) fig5
+	@echo "wrote $(BENCHOUT)"
+
+# Regenerate every figure and table at the default scale.
+figures:
+	$(GO) run ./cmd/experiments all
+
+clean:
+	rm -f BENCH_*.json

@@ -17,6 +17,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/obsv"
 	"repro/internal/rh"
 	"repro/internal/sim"
 	"repro/internal/track"
@@ -29,7 +30,16 @@ func main() {
 	acts := flag.Int("acts", 2_000_000, "demand activations per window")
 	windows := flag.Int("windows", 2, "tracking windows (reset between)")
 	full := flag.Bool("full", false, "run the attack through the full timing simulator (hydra only)")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile")
 	flag.Parse()
+
+	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *full {
 		runFullSystem(*trh, *acts)

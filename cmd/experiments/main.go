@@ -9,16 +9,23 @@
 //
 // Flags:
 //
-//	-scale N       footprint scale (1 = full 64 ms window; default 16)
-//	-trh N         row-hammer threshold (default 500)
-//	-workloads a,b restrict to the named workloads
-//	-par N         parallel simulations (default NumCPU)
-//	-seed N        workload seed
-//	-json          emit reports as JSON
+//	-scale N         footprint scale (1 = full 64 ms window; default 16)
+//	-trh N           row-hammer threshold (default 500)
+//	-workloads a,b   restrict to the named workloads
+//	-par N           parallel simulations (default NumCPU)
+//	-seed N          workload seed (0 is a valid seed)
+//	-json FILE       write a machine-readable run report ("-" = stdout)
+//	-trace FILE      write a JSONL event trace (serializes the sweep)
+//	-trace-cap N     event ring capacity (oldest dropped beyond this)
+//	-cpuprofile FILE write a pprof CPU profile
+//	-memprofile FILE write a pprof heap profile
+//
+// With -json, every target's report (schema hydra-run-report/v1,
+// documented in docs/METRICS.md) is collected into one report file;
+// text tables still go to stdout unless -json is "-".
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -33,13 +41,20 @@ func main() {
 	trh := flag.Int("trh", 500, "row-hammer threshold")
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	par := flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	asJSON := flag.Bool("json", false, "emit reports as JSON instead of text tables")
+	seed := flag.Uint64("seed", 1, "workload seed (0 is a valid seed)")
+	jsonOut := flag.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
+	traceOut := flag.String("trace", "", "write a JSONL event trace (serializes the sweep)")
+	traceCap := flag.Int("trace-cap", 1<<20, "event-trace ring capacity")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile")
 	flag.Parse()
 
-	opts := exp.Options{Scale: *scale, TRH: *trh, Parallelism: *par, Seed: *seed}
+	opts := exp.Options{Scale: *scale, TRH: *trh, Parallelism: *par, Seed: seed}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *traceOut != "" {
+		opts.Trace = obsv.NewTracer(*traceCap)
 	}
 
 	targets := flag.Args()
@@ -54,24 +69,58 @@ func main() {
 			"ext-rand", "ext-ddr5", "ext-rowswap", "ext-policies"}
 	}
 
+	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fail := func(target string, err error) {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
+		os.Exit(1)
+	}
+
+	var reports []*obsv.Report
 	for _, target := range targets {
 		start := time.Now()
 		rep, err := run(target, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
-			os.Exit(1)
+			fail(target, err)
 		}
-		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]any{"target": target, "report": rep}); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
-				os.Exit(1)
-			}
-			continue
+		elapsed := time.Since(start)
+		if *jsonOut != "" {
+			reports = append(reports, exp.BuildReport(target, opts, rep, elapsed))
 		}
-		fmt.Println(format(rep))
-		fmt.Printf("[%s took %v]\n\n", target, time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "-" {
+			fmt.Println(format(rep))
+			fmt.Printf("[%s took %v]\n\n", target, elapsed.Round(time.Millisecond))
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := obsv.NewReportFile(reports...).WriteFile(*jsonOut); err != nil {
+			fail("json", err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("trace", err)
+		}
+		if err := opts.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			fail("trace", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace", err)
+		}
+		if d := opts.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: trace ring dropped %d oldest events (raise -trace-cap to keep more)\n", d)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: profiles:", err)
+		os.Exit(1)
 	}
 }
 

@@ -6,8 +6,14 @@
 // Usage:
 //
 //	hydrasim -workload parest -tracker hydra -scale 16 -trh 500
+//	hydrasim -workload GUPS -json run.json -trace run.jsonl
 //
 // Trackers: none hydra hydra-nogct hydra-norcc graphene cra ocpr para
+//
+// -json writes a machine-readable run report (schema
+// hydra-run-report/v1), -trace a JSONL event trace, and
+// -cpuprofile/-memprofile pprof profiles; all are documented in
+// docs/METRICS.md.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -35,6 +42,11 @@ func main() {
 	baseline := flag.Bool("baseline", true, "also run the non-secure baseline and report slowdown")
 	policy := flag.String("mitigation", "refresh", "mitigation policy: refresh|rowswap|throttle")
 	traceDir := flag.String("tracedir", "", "replay recorded traces (core*.trc from tracegen) instead of generating")
+	jsonOut := flag.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
+	traceOut := flag.String("trace", "", "write a JSONL event trace of the tracked run")
+	traceCap := flag.Int("trace-cap", 1<<20, "event-trace ring capacity")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile")
 	flag.Parse()
 
 	if *name == "list" {
@@ -50,6 +62,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hydrasim:", err)
 		os.Exit(1)
 	}
+	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hydrasim:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
 	cfg := sim.Default(p)
 	cfg.Scale = *scale
 	cfg.TRH = *trh
@@ -57,6 +76,9 @@ func main() {
 	cfg.Tracker = sim.TrackerKind(*tracker)
 	cfg.CRACacheBytes = *craKB * 1024
 	cfg.Mitigation = sim.MitigationPolicy(*policy)
+	if *traceOut != "" {
+		cfg.Trace = obsv.NewTracer(*traceCap)
+	}
 	if *traceDir != "" {
 		srcs, closers, err := loadTraces(*traceDir)
 		if err != nil {
@@ -102,19 +124,67 @@ func main() {
 			res.CRA.Hits, res.CRA.MissFetches, res.CRA.Writebacks)
 	}
 
+	norm := 0.0
 	if *baseline && cfg.Tracker != sim.TrackNone {
 		bcfg := cfg
 		bcfg.Tracker = sim.TrackNone
+		bcfg.Trace = nil // trace only the tracked run
 		base, err := sim.Run(bcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hydrasim: baseline:", err)
 			os.Exit(1)
 		}
-		norm := float64(base.Cycles) / float64(res.Cycles)
+		norm = float64(base.Cycles) / float64(res.Cycles)
 		fmt.Printf("baseline   %d cycles -> normalized perf %.4f (slowdown %.2f%%)\n",
 			base.Cycles, norm, stats.SlowdownPct(norm))
 	}
 	fmt.Printf("[simulated in %v]\n", elapsed.Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		rep := obsv.NewReport("hydrasim", res.Workload+"/"+res.Tracker)
+		rep.ElapsedSec = elapsed.Seconds()
+		rep.Params = map[string]any{
+			"scale": *scale, "trh": *trh, "seed": *seed,
+			"tracker": *tracker, "mitigation": *policy,
+		}
+		rep.Schemes = []string{res.Tracker}
+		rep.Metrics = res.Metrics
+		if norm > 0 {
+			rep.Workloads = []obsv.WorkloadReport{{
+				Name:        res.Workload,
+				Suite:       string(p.Suite),
+				NormPerf:    map[string]float64{res.Tracker: norm},
+				SlowdownPct: map[string]float64{res.Tracker: stats.SlowdownPct(norm)},
+			}}
+		}
+		if err := obsv.NewReportFile(rep).WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "hydrasim:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hydrasim:", err)
+			os.Exit(1)
+		}
+		if err := cfg.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "hydrasim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hydrasim:", err)
+			os.Exit(1)
+		}
+		if d := cfg.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "hydrasim: trace ring dropped %d oldest events (raise -trace-cap)\n", d)
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "hydrasim: profiles:", err)
+		os.Exit(1)
+	}
 }
 
 // loadTraces opens every core*.trc in dir, in core order.

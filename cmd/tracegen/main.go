@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dram"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -27,7 +28,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output directory (created if missing)")
 	verify := flag.String("verify", "", "verify a recorded trace directory and print stats")
+	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := flag.String("memprofile", "", "write a pprof heap profile")
 	flag.Parse()
+
+	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *verify != "" {
 		if err := verifyDir(*verify); err != nil {

@@ -1,0 +1,72 @@
+package hydra_test
+
+import (
+	"fmt"
+
+	hydra "repro"
+)
+
+// Protect a memory controller model in a few lines: wrap the tracker
+// in the victim-refresh policy and feed it every row activation. When
+// a row's estimated activation count crosses the tracker threshold,
+// Activate returns the blast-radius neighbours that must be refreshed.
+func Example() {
+	tracker := hydra.MustNew(hydra.DefaultConfig(), hydra.NullSink{})
+	refresher := hydra.NewRefresher(tracker, hydra.DefaultBlast, 1<<16)
+
+	aggressor := hydra.Row(4242)
+	refreshes := 0
+	for i := 0; i < 600; i++ { // hammer past T_RH = 500
+		victims := refresher.Activate(aggressor)
+		refreshes += len(victims)
+	}
+	fmt.Printf("victim rows refreshed: %d\n", refreshes)
+	fmt.Printf("aggressor estimate after mitigation: %d\n", tracker.EstimatedCount(aggressor))
+	// Output:
+	// victim rows refreshed: 8
+	// aggressor estimate after mitigation: 100
+}
+
+// ConfigForThreshold scales Hydra's structures with the row-hammer
+// threshold: halving T_RH doubles the tables (Section 6.3), yet the
+// SRAM cost stays tens of KB where perfect per-row tracking would
+// need megabytes.
+func ExampleConfigForThreshold() {
+	for _, trh := range []int{500, 250, 125} {
+		cfg := hydra.ConfigForThreshold(trh)
+		s := cfg.Storage()
+		fmt.Printf("T_RH=%-4d SRAM=%3d KB (GCT %d entries, RCC %d entries)\n",
+			trh, s.TotalBytes/1024, cfg.GCTEntries, cfg.RCCEntries)
+	}
+	// Output:
+	// T_RH=500  SRAM= 56 KB (GCT 32768 entries, RCC 8192 entries)
+	// T_RH=250  SRAM=110 KB (GCT 65536 entries, RCC 16384 entries)
+	// T_RH=125  SRAM=216 KB (GCT 131072 entries, RCC 32768 entries)
+}
+
+// Victims enumerates the blast-radius neighbourhood of an aggressor,
+// clamped to the bank, ordered nearest-first: the rows a mitigation
+// must refresh.
+func ExampleVictims() {
+	fmt.Println(hydra.Victims(1000, hydra.DefaultBlast, 1<<16))
+	fmt.Println(hydra.Victims(0, hydra.DefaultBlast, 1<<16)) // bank edge
+	// Output:
+	// [999 1001 998 1002]
+	// [1 2]
+}
+
+// CountingSink measures the DRAM traffic cost of the tracker's
+// RCT metadata: each counted read or write is one DRAM line access
+// the memory controller must issue on Hydra's behalf.
+func ExampleCountingSink() {
+	sink := &hydra.CountingSink{}
+	tracker := hydra.MustNew(hydra.DefaultConfig(), sink)
+	for row := hydra.Row(0); row < 300; row++ {
+		for i := 0; i < 300; i++ { // push every group past T_G
+			tracker.Activate(row)
+		}
+	}
+	fmt.Printf("RCT line reads=%d writes=%d\n", sink.Reads, sink.Writes)
+	// Output:
+	// RCT line reads=306 writes=6
+}

@@ -1,19 +1,3 @@
-// Package core implements Hydra, the paper's hybrid row-hammer tracker
-// (Section 4). Hydra combines three lines of defense:
-//
-//  1. the Group-Count Table (GCT), an untagged SRAM table of saturating
-//     counters aggregated over groups of rows, which filters the vast
-//     majority of activations;
-//  2. the Row-Count Cache (RCC), a small set-associative SRAM cache of
-//     per-row counters, organized at single-counter granularity and
-//     tagged by row address;
-//  3. the Row-Count Table (RCT), one counter per row stored in a
-//     reserved region of DRAM, giving guaranteed per-row tracking for
-//     an arbitrary number of rows.
-//
-// The tracker is purely functional: it owns its counter state and the
-// mitigation decisions, while DRAM traffic for RCT lines is reported to
-// an rh.MemSink so a timing simulator can charge it.
 package core
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obsv"
 	"repro/internal/rh"
 )
 
@@ -23,6 +24,22 @@ type Stats struct {
 	MetaWrites  int64 // 64-byte RCT line writes issued
 }
 
+// CollectInto implements obsv.Source, registering the "hydra.*" access
+// distribution and the "rct.*" DRAM-traffic family (docs/METRICS.md).
+func (s Stats) CollectInto(r *obsv.Registry) {
+	r.Count("hydra.acts", s.Acts)
+	r.Count("hydra.gct_only", s.GCTOnly)
+	r.Count("hydra.rcc_hit", s.RCCHit)
+	r.Count("hydra.mitigations", s.Mitigations)
+	r.Count("tracker.mitigations", s.Mitigations+s.MetaMitig)
+	r.Count("hydra.group_inits", s.GroupInits)
+	r.Count("hydra.meta_acts", s.MetaActs)
+	r.Count("hydra.meta_mitig", s.MetaMitig)
+	r.Count("rct.fetches", s.RCTAccess)
+	r.Count("rct.line_reads", s.MetaReads)
+	r.Count("rct.line_writes", s.MetaWrites)
+}
+
 // Tracker is the Hydra hybrid tracker. It implements rh.Tracker.
 // It is not safe for concurrent use; the memory controller serializes
 // activations per rank in hardware and the simulator does the same.
@@ -38,6 +55,10 @@ type Tracker struct {
 	cipher    *rowCipher
 	groupSize int
 	stats     Stats
+
+	// Event tracing (AttachTracer); nil when disabled.
+	trace   *obsv.Tracer
+	traceAt func() int64
 }
 
 var _ rh.Tracker = (*Tracker)(nil)
@@ -100,8 +121,22 @@ func (t *Tracker) Name() string {
 // Config returns the resolved configuration (defaults filled in).
 func (t *Tracker) Config() Config { return t.cfg }
 
+// AttachTracer enables event tracing: GCT-saturation events (a group
+// switching to per-row tracking, Section 4.4) are emitted into tr,
+// stamped with the cycle returned by now. The tracker itself has no
+// clock, so the caller — typically the full-system simulator — supplies
+// the timestamp of the activation currently being processed. Passing a
+// nil tracer disables tracing again.
+func (t *Tracker) AttachTracer(tr *obsv.Tracer, now func() int64) {
+	t.trace = tr
+	t.traceAt = now
+}
+
 // Stats returns the access-distribution counters.
 func (t *Tracker) Stats() Stats { return t.stats }
+
+// CollectInto implements obsv.Source (see Stats.CollectInto).
+func (t *Tracker) CollectInto(r *obsv.Registry) { t.stats.CollectInto(r) }
 
 // SRAMBytes implements rh.Tracker.
 func (t *Tracker) SRAMBytes() int { return t.cfg.Storage().TotalBytes }
@@ -157,6 +192,13 @@ func (t *Tracker) Activate(row rh.Row) bool {
 // line reads and two line writes.
 func (t *Tracker) initGroup(g int) {
 	t.stats.GroupInits++
+	if t.trace != nil {
+		var at int64
+		if t.traceAt != nil {
+			at = t.traceAt()
+		}
+		t.trace.Emit(obsv.Event{Cycle: at, Kind: obsv.EvGCTSaturate, Aux: int64(g)})
+	}
 	lo := g * t.groupSize
 	hi := lo + t.groupSize
 	if hi > t.cfg.Rows {

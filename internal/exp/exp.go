@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -31,9 +32,20 @@ type Options struct {
 	Workloads []string
 	// Parallelism bounds concurrent simulations (default: NumCPU).
 	Parallelism int
-	// Seed makes runs reproducible.
-	Seed uint64
+	// Seed makes runs reproducible. Nil selects the default seed (1);
+	// any explicitly set value — including 0 — is used as-is, so seed
+	// 0 is reproducible as itself (use SeedOf to build the pointer).
+	Seed *uint64
+	// Trace, when non-nil, records simulation events (activations,
+	// mitigations, refreshes, GCT saturations, window resets) from
+	// every run of the sweep. Because runs execute concurrently, the
+	// harness serializes the sweep (Parallelism 1) while tracing and
+	// separates runs with EvRunStart markers tagged "scheme/workload".
+	Trace *obsv.Tracer
 }
+
+// SeedOf returns a pointer to seed, for Options.Seed literals.
+func SeedOf(seed uint64) *uint64 { return &seed }
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -45,10 +57,21 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.NumCPU()
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
+	if o.Trace != nil {
+		o.Parallelism = 1
+	}
+	if o.Seed == nil {
+		o.Seed = SeedOf(1)
 	}
 	return o
+}
+
+// seed returns the effective workload seed.
+func (o Options) seed() uint64 {
+	if o.Seed == nil {
+		return 1
+	}
+	return *o.Seed
 }
 
 // profiles resolves the workload list.
@@ -72,7 +95,8 @@ func (o Options) baseConfig(p workload.Profile) sim.Config {
 	cfg := sim.Default(p)
 	cfg.Scale = o.Scale
 	cfg.TRH = o.TRH
-	cfg.Seed = o.Seed
+	cfg.Seed = o.seed()
+	cfg.Trace = o.Trace
 	return cfg
 }
 
@@ -107,6 +131,9 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 			for j := range jobs {
 				cfg := o.baseConfig(j.p)
 				j.v.Mutate(&cfg)
+				if o.Trace != nil {
+					o.Trace.Emit(obsv.Event{Kind: obsv.EvRunStart, Tag: j.v.Name + "/" + j.p.Name})
+				}
 				res, err := sim.Run(cfg)
 				results <- cell{variant: j.v.Name, workload: j.p.Name, res: res, err: err}
 			}
@@ -149,6 +176,10 @@ type PerfReport struct {
 	// Norm[scheme][workload] is performance normalized to the
 	// non-secure baseline (1.0 = no slowdown).
 	Norm map[string]map[string]float64
+	// Results[scheme][workload] retains the full simulation results
+	// (including the baseline), so run reports can export the metric
+	// snapshots alongside the normalized performance.
+	Results map[string]map[string]sim.Result
 }
 
 // perfReport runs baseline plus schemes and normalizes.
@@ -162,7 +193,7 @@ func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error)
 	if err != nil {
 		return nil, err
 	}
-	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}}
+	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}, Results: res}
 	for _, v := range schemes {
 		rep.Schemes = append(rep.Schemes, v.Name)
 		rep.Norm[v.Name] = map[string]float64{}

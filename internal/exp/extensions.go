@@ -128,7 +128,7 @@ func ExtensionRowSwap(o Options) (*RowSwapReport, error) {
 	mk := func() (*core.Tracker, error) {
 		cfg := core.ForThreshold(o.TRH)
 		cfg.Rows = mem.TotalRows()
-		cfg.Seed = o.Seed
+		cfg.Seed = o.seed()
 		return core.New(cfg, rh.NullSink{})
 	}
 
@@ -147,7 +147,7 @@ func ExtensionRowSwap(o Options) (*RowSwapReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	sw := mitigate.NewSwapper(t2, mem.RowsPerBank, o.Seed)
+	sw := mitigate.NewSwapper(t2, mem.RowsPerBank, o.seed())
 	for i := 0; i < hammers; i++ {
 		sw.Activate(aggressor)
 	}

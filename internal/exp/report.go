@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// reportable is implemented by harness reports that can export a
+// structured run report (currently PerfReport; table/oracle reports
+// ride along in the Extra field).
+type reportable interface {
+	runReport(rep *obsv.Report)
+}
+
+// BuildReport converts one target's harness output into the
+// machine-readable run report of internal/obsv. Perf reports export
+// per-workload normalized performance, slowdown percentages and
+// per-scheme metric snapshots, plus one aggregated metric view
+// (counters summed, histograms merged across every simulated run);
+// other report shapes are embedded as-is under "extra".
+func BuildReport(target string, o Options, rep any, elapsed time.Duration) *obsv.Report {
+	o = o.withDefaults()
+	out := obsv.NewReport("experiments", target)
+	out.ElapsedSec = elapsed.Seconds()
+	out.Params = map[string]any{
+		"scale":       o.Scale,
+		"trh":         o.TRH,
+		"seed":        o.seed(),
+		"parallelism": o.Parallelism,
+	}
+	if len(o.Workloads) > 0 {
+		out.Params["workloads"] = o.Workloads
+	}
+	if r, ok := rep.(reportable); ok {
+		r.runReport(out)
+	} else {
+		out.Extra = rep
+	}
+	return out
+}
+
+// runReport implements reportable for the perf-sweep shape.
+func (r *PerfReport) runReport(out *obsv.Report) {
+	out.Schemes = append([]string(nil), r.Schemes...)
+	out.Geomeans = map[string]map[string]float64{}
+	for _, s := range r.Schemes {
+		out.Geomeans[s] = r.SuiteGeomeans(s)
+	}
+	agg := obsv.Metrics{}
+	for _, p := range r.Profiles {
+		w := obsv.WorkloadReport{
+			Name:        p.Name,
+			Suite:       string(p.Suite),
+			NormPerf:    map[string]float64{},
+			SlowdownPct: map[string]float64{},
+			Metrics:     map[string]obsv.Metrics{},
+		}
+		for _, s := range r.Schemes {
+			norm := r.Norm[s][p.Name]
+			w.NormPerf[s] = norm
+			w.SlowdownPct[s] = (1 - norm) * 100
+		}
+		for scheme, byWorkload := range r.Results {
+			if res, ok := byWorkload[p.Name]; ok && res.Metrics != nil {
+				w.Metrics[scheme] = res.Metrics
+				agg.Merge(res.Metrics)
+			}
+		}
+		out.Workloads = append(out.Workloads, w)
+	}
+	out.Metrics = agg
+}

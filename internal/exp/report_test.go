@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/workload"
+)
+
+// TestRunReportRoundTrip is the tier-1 acceptance test for the
+// observability layer: a real (small) sweep must produce a report that
+// survives encoding/json round-tripping, validates, and carries at
+// least ten named metrics spanning the memory, tracker and mitigation
+// layers plus per-workload slowdowns.
+func TestRunReportRoundTrip(t *testing.T) {
+	opts := Options{Scale: 64, Workloads: []string{"parest", "GUPS"}}
+	start := time.Now()
+	rep, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := BuildReport("fig5", opts, rep, time.Since(start))
+
+	raw, err := json.Marshal(obsv.NewReportFile(report))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obsv.ReportFile
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	r := got.Reports[0]
+
+	// Required fields survived the trip.
+	if r.Schema != obsv.ReportSchema || r.Tool != "experiments" || r.Target != "fig5" {
+		t.Fatalf("header = %q %q %q", r.Schema, r.Tool, r.Target)
+	}
+	if r.GoVersion == "" || r.CreatedAt.IsZero() {
+		t.Fatalf("provenance missing: go=%q created=%v", r.GoVersion, r.CreatedAt)
+	}
+	if r.Params["scale"] != float64(64) {
+		t.Errorf("params.scale = %v", r.Params["scale"])
+	}
+
+	// Per-workload slowdowns for every scheme.
+	if len(r.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(r.Workloads))
+	}
+	for _, w := range r.Workloads {
+		if len(w.SlowdownPct) == 0 || len(w.NormPerf) == 0 {
+			t.Errorf("workload %s missing slowdown/norm-perf", w.Name)
+		}
+		for s, n := range w.NormPerf {
+			if n <= 0 || n > 1.2 {
+				t.Errorf("workload %s scheme %s norm_perf = %g", w.Name, s, n)
+			}
+		}
+	}
+
+	// The aggregated metric view must span the layers.
+	if len(r.Metrics) < 10 {
+		t.Fatalf("aggregated metrics = %d names, want >= 10: %v",
+			len(r.Metrics), r.Metrics.Names())
+	}
+	families := map[string]bool{}
+	for _, name := range r.Metrics.Names() {
+		families[name[:strings.Index(name, ".")]] = true
+	}
+	for _, fam := range []string{"memsim", "hydra", "mitig", "rct", "sim"} {
+		if !families[fam] {
+			t.Errorf("no %s.* metric in report; families seen: %v", fam, families)
+		}
+	}
+	if r.Metrics.Counter("memsim.activates") <= 0 {
+		t.Error("memsim.activates not positive")
+	}
+	if r.Metrics["memsim.readq_depth"].Hist == nil {
+		t.Error("memsim.readq_depth histogram missing after round trip")
+	}
+}
+
+// TestSeedZeroHonored pins the fix for the silent Seed==0 -> 1
+// remapping: an explicitly set zero seed must reach the simulator
+// unchanged, while an unset seed still defaults to 1.
+func TestSeedZeroHonored(t *testing.T) {
+	p, err := workload.ByName("parest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (Options{Seed: SeedOf(0)}).withDefaults().baseConfig(p).Seed; got != 0 {
+		t.Errorf("explicit seed 0 remapped to %d", got)
+	}
+	if got := (Options{}).withDefaults().baseConfig(p).Seed; got != 1 {
+		t.Errorf("default seed = %d, want 1", got)
+	}
+	if got := (Options{Seed: SeedOf(42)}).withDefaults().baseConfig(p).Seed; got != 42 {
+		t.Errorf("explicit seed 42 became %d", got)
+	}
+}

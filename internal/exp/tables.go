@@ -83,7 +83,7 @@ func Table3(o Options) (*Table3Report, error) {
 	mem := dram.Baseline()
 	base := workload.DefaultStreamConfig(mem, mem.RowsPerBank-17)
 	base.Scale = o.Scale
-	base.Seed = o.Seed
+	base.Seed = o.seed()
 	rep := &Table3Report{Scale: o.Scale}
 	for _, p := range profiles {
 		c, err := workload.Characterize(p, base)

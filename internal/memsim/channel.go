@@ -1,5 +1,7 @@
 package memsim
 
+import "repro/internal/obsv"
+
 // bank is the per-bank timing state.
 type bank struct {
 	openRow int   // -1 when precharged
@@ -29,6 +31,7 @@ type channel struct {
 	nextAt     int64
 	dispatchAt int64 // earliest next scheduling decision (pacing)
 	seq        int64
+	openBanks  int64 // banks with an open row (occupancy sampling)
 
 	stats Stats
 }
@@ -62,6 +65,13 @@ func newChannel(cfg *Config, id int) *channel {
 		c.banks[i].openRow = -1
 		c.banks[i].lastAct = -Infinity
 	}
+	// Queue-depth buckets cover the default capacities; deeper custom
+	// queues land in the overflow bucket. Bounds are fixed so that
+	// per-channel histograms merge in Memory.Stats.
+	c.stats.ReadQDepth = obsv.NewHist(obsv.PowersOfTwo(64)...)
+	c.stats.WriteQDepth = obsv.NewHist(obsv.PowersOfTwo(128)...)
+	c.stats.MetaQDepth = obsv.NewHist(obsv.PowersOfTwo(64)...)
+	c.stats.OpenBanks = obsv.NewHist(obsv.PowersOfTwo(32)...)
 	for r := range c.faw {
 		for j := range c.faw[r] {
 			c.faw[r][j] = -Infinity
@@ -81,11 +91,13 @@ func (c *channel) submit(r *Request) bool {
 	switch r.Kind {
 	case ReadReq:
 		if len(c.readQ) >= c.cfg.ReadQCap {
+			c.stats.ReadQFull++
 			return false
 		}
 		c.readQ = append(c.readQ, r)
 	case WriteReq:
 		if len(c.writeQ) >= c.cfg.WriteQCap {
+			c.stats.WriteQFull++
 			return false
 		}
 		c.writeQ = append(c.writeQ, r)
@@ -118,6 +130,10 @@ func (c *channel) step() {
 	now := c.nextAt
 	c.now = now
 	c.applyRefreshes(now)
+	c.stats.ReadQDepth.Observe(int64(len(c.readQ)))
+	c.stats.WriteQDepth.Observe(int64(len(c.writeQ)))
+	c.stats.MetaQDepth.Observe(int64(len(c.metaQ)))
+	c.stats.OpenBanks.Observe(c.openBanks)
 
 	r, from := c.pick(now)
 	if r == nil {
@@ -159,9 +175,13 @@ func (c *channel) applyRefreshes(now int64) {
 					s = bk.readyAt
 				}
 				bk.readyAt = s + c.cfg.Timing.TRFC
+				if bk.openRow >= 0 {
+					c.openBanks--
+				}
 				bk.openRow = -1
 			}
 			c.stats.Refreshes++
+			c.cfg.Trace.Emit(obsv.Event{Cycle: start, Kind: obsv.EvRefresh, Row: uint32(c.id), Aux: int64(rank)})
 			c.nextRef[rank] += c.cfg.Timing.TREFI
 		}
 	}
@@ -190,8 +210,14 @@ func (c *channel) pick(now int64) (*Request, *[]*Request) {
 		return r, &c.mitigQ
 	}
 	if len(c.writeQ) >= c.cfg.DrainHi {
+		if !c.draining {
+			c.stats.DrainEnters++
+		}
 		c.draining = true
 	} else if len(c.writeQ) <= c.cfg.DrainLo {
+		if c.draining {
+			c.stats.DrainExits++
+		}
 		c.draining = false
 	}
 	if c.draining {
@@ -291,6 +317,7 @@ func (c *channel) service(r *Request, now int64) {
 		actAt := start
 		if b.openRow >= 0 {
 			actAt += tm.TRP
+			c.openBanks--
 		}
 		if t := b.lastAct + tm.TRC; t > actAt {
 			actAt = t
@@ -315,6 +342,8 @@ func (c *channel) service(r *Request, now int64) {
 			actAt := start
 			if b.openRow >= 0 {
 				actAt += tm.TRP
+			} else {
+				c.openBanks++
 			}
 			if t := b.lastAct + tm.TRC; t > actAt {
 				actAt = t

@@ -1,9 +1,29 @@
+// Package memsim is an event-driven DDR4 memory-system simulator in
+// the spirit of USIMM (the simulator the paper evaluates with). It
+// models, per channel: FR-FCFS scheduling with read priority and
+// write-drain hysteresis, per-bank row-buffer and timing state
+// (tRCD/tRP/tCAS/tRC/tRFC/tFAW), a shared data bus, periodic rank
+// refresh, and the two request classes row-hammer tracking adds —
+// victim-refresh activations (bank-only, high priority) and metadata
+// line transfers (low priority).
+//
+// Time is measured in core cycles at 3.2 GHz (0.3125 ns), which makes
+// the paper's Table 2 DDR4-3200 parameters exact integers: tRC = 45 ns
+// = 144 cycles, a 64-byte burst = 2.5 ns = 8 cycles, and a 64 ms
+// refresh window = 204.8 M cycles.
+//
+// Every controller maintains the observability counters of
+// internal/obsv: queue-depth and open-bank histograms sampled at each
+// scheduling decision, write-drain mode transitions, and (optionally)
+// refresh events into a trace ring. Stats implements obsv.Source so a
+// finished run registers as the "memsim.*" metric family.
 package memsim
 
 import (
 	"fmt"
 
 	"repro/internal/dram"
+	"repro/internal/obsv"
 )
 
 // Kind classifies a memory request.
@@ -74,6 +94,11 @@ type Config struct {
 	// time. It runs synchronously during Step; it may submit new
 	// requests (metadata traffic, victim refreshes).
 	OnACT func(row uint32, kind Kind, now int64)
+
+	// Trace, when non-nil, receives refresh events (the other event
+	// kinds are emitted by the layers that own them). A nil tracer
+	// costs one branch per refresh.
+	Trace *obsv.Tracer
 }
 
 // DefaultConfig returns the baseline controller configuration.
@@ -101,6 +126,23 @@ type Stats struct {
 	Refreshes  int64 // rank auto-refresh commands
 	ReadLatSum int64 // sum of read latencies (queue+service)
 	BusyUntil  int64 // latest completion seen
+
+	// DrainEnters / DrainExits count write-drain mode transitions
+	// (the DrainHi/DrainLo hysteresis flipping on and off).
+	DrainEnters int64
+	DrainExits  int64
+	// ReadQFull / WriteQFull count submissions refused because the
+	// queue was at capacity (backpressure onto the cores).
+	ReadQFull  int64
+	WriteQFull int64
+
+	// ReadQDepth / WriteQDepth / MetaQDepth are FR-FCFS queue depths
+	// and OpenBanks the count of banks with an open row, each sampled
+	// at every scheduling decision.
+	ReadQDepth  obsv.Hist
+	WriteQDepth obsv.Hist
+	MetaQDepth  obsv.Hist
+	OpenBanks   obsv.Hist
 }
 
 // AvgReadLatency returns the mean read latency in cycles.
@@ -109,6 +151,28 @@ func (s Stats) AvgReadLatency() float64 {
 		return 0
 	}
 	return float64(s.ReadLatSum) / float64(s.Reads)
+}
+
+// CollectInto implements obsv.Source, registering the "memsim.*"
+// metric family (documented in docs/METRICS.md).
+func (s Stats) CollectInto(r *obsv.Registry) {
+	r.Count("memsim.reads", s.Reads)
+	r.Count("memsim.writes", s.Writes)
+	r.Count("memsim.meta_reads", s.MetaReads)
+	r.Count("memsim.meta_writes", s.MetaWrites)
+	r.Count("memsim.mitig_acts", s.MitigActs)
+	r.Count("memsim.activates", s.Activates)
+	r.Count("memsim.row_hits", s.RowHits)
+	r.Count("memsim.refreshes", s.Refreshes)
+	r.Count("memsim.drain_enters", s.DrainEnters)
+	r.Count("memsim.drain_exits", s.DrainExits)
+	r.Count("memsim.readq_full", s.ReadQFull)
+	r.Count("memsim.writeq_full", s.WriteQFull)
+	r.Gauge("memsim.avg_read_latency", s.AvgReadLatency())
+	r.Histogram("memsim.readq_depth", s.ReadQDepth)
+	r.Histogram("memsim.writeq_depth", s.WriteQDepth)
+	r.Histogram("memsim.metaq_depth", s.MetaQDepth)
+	r.Histogram("memsim.open_banks", s.OpenBanks)
 }
 
 // Memory is the full memory system: one controller per channel.
@@ -175,7 +239,7 @@ func (m *Memory) Idle() bool {
 	return true
 }
 
-// Stats sums the per-channel statistics.
+// Stats sums the per-channel statistics (histograms merge bucket-wise).
 func (m *Memory) Stats() Stats {
 	var s Stats
 	for _, c := range m.channels {
@@ -188,6 +252,14 @@ func (m *Memory) Stats() Stats {
 		s.RowHits += c.stats.RowHits
 		s.Refreshes += c.stats.Refreshes
 		s.ReadLatSum += c.stats.ReadLatSum
+		s.DrainEnters += c.stats.DrainEnters
+		s.DrainExits += c.stats.DrainExits
+		s.ReadQFull += c.stats.ReadQFull
+		s.WriteQFull += c.stats.WriteQFull
+		s.ReadQDepth.Merge(c.stats.ReadQDepth)
+		s.WriteQDepth.Merge(c.stats.WriteQDepth)
+		s.MetaQDepth.Merge(c.stats.MetaQDepth)
+		s.OpenBanks.Merge(c.stats.OpenBanks)
 		if c.stats.BusyUntil > s.BusyUntil {
 			s.BusyUntil = c.stats.BusyUntil
 		}

@@ -1,16 +1,3 @@
-// Package memsim is an event-driven DDR4 memory-system simulator in
-// the spirit of USIMM (the simulator the paper evaluates with). It
-// models, per channel: FR-FCFS scheduling with read priority and
-// write-drain hysteresis, per-bank row-buffer and timing state
-// (tRCD/tRP/tCAS/tRC/tRFC/tFAW), a shared data bus, periodic rank
-// refresh, and the two request classes row-hammer tracking adds —
-// victim-refresh activations (bank-only, high priority) and metadata
-// line transfers (low priority).
-//
-// Time is measured in core cycles at 3.2 GHz (0.3125 ns), which makes
-// the paper's Table 2 DDR4-3200 parameters exact integers: tRC = 45 ns
-// = 144 cycles, a 64-byte burst = 2.5 ns = 8 cycles, and a 64 ms
-// refresh window = 204.8 M cycles.
 package memsim
 
 // Timing holds DRAM timing parameters in core cycles (3.2 GHz).

@@ -1,0 +1,123 @@
+package obsv
+
+import "fmt"
+
+// Hist is a fixed-bucket histogram over non-negative int64 samples,
+// cheap enough to sit on a simulator scheduling path: Observe is a
+// handful of compares and three adds. Unlike stats.Histogram it is a
+// value type with a stable JSON shape, so memory-controller stats can
+// embed it directly and run reports can carry it.
+//
+// Bounds are inclusive upper bounds; a final overflow bucket catches
+// samples above the last bound, so len(Counts) == len(Bounds)+1.
+// Construct with NewHist; the zero value cannot record samples.
+type Hist struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+	N      int64   `json:"n"`
+	Sum    int64   `json:"sum"`
+	Max    int64   `json:"max"`
+}
+
+// NewHist creates a histogram with the given strictly increasing
+// inclusive upper bounds.
+func NewHist(bounds ...int64) Hist {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsv: histogram bounds must be strictly increasing")
+		}
+	}
+	return Hist{
+		Bounds: append([]int64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// PowersOfTwo returns bounds 0, 1, 2, 4, ... up to max inclusive, the
+// conventional shape for queue depths and occupancies.
+func PowersOfTwo(max int64) []int64 {
+	bounds := []int64{0}
+	for b := int64(1); b <= max; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Mean returns the mean of all recorded samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Clone returns a deep copy.
+func (h Hist) Clone() Hist {
+	h.Bounds = append([]int64(nil), h.Bounds...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
+}
+
+// Merge accumulates another histogram with identical bounds into h
+// (bucket-wise addition). Mismatched bounds panic: merging histograms
+// of different shapes indicates a harness bug.
+func (h *Hist) Merge(other Hist) {
+	if other.N == 0 {
+		return
+	}
+	if h.N == 0 && len(h.Bounds) == 0 {
+		*h = other.Clone()
+		return
+	}
+	if len(h.Bounds) != len(other.Bounds) {
+		panic("obsv: merging histograms with different bounds")
+	}
+	for i, b := range h.Bounds {
+		if other.Bounds[i] != b {
+			panic("obsv: merging histograms with different bounds")
+		}
+	}
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
+// String renders the histogram compactly for logs.
+func (h Hist) String() string {
+	if len(h.Counts) != len(h.Bounds)+1 {
+		return "n=0"
+	}
+	s := fmt.Sprintf("n=%d mean=%.1f max=%d ", h.N, h.Mean(), h.Max)
+	prev := int64(0)
+	for i, b := range h.Bounds {
+		if h.Counts[i] > 0 {
+			s += fmt.Sprintf("[%d..%d]:%d ", prev, b, h.Counts[i])
+		}
+		prev = b + 1
+	}
+	if n := h.Counts[len(h.Bounds)]; n > 0 {
+		s += fmt.Sprintf("[%d..]:%d ", prev, n)
+	}
+	return s[:len(s)-1]
+}

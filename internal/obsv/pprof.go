@@ -1,0 +1,60 @@
+package obsv
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles enables CPU and/or heap profiling for a command run:
+// cpuPath and memPath are output files, empty to skip either. The
+// returned stop function flushes the profiles and reports the first
+// error encountered; it is idempotent, so it can be both deferred and
+// called on the success path. All four cmd/ binaries share this hook
+// so any figure sweep can be profiled with -cpuprofile/-memprofile
+// and inspected with `go tool pprof`.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("obsv: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("obsv: cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC() // settle the heap so the profile reflects live data
+				if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+					first = err
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,177 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ReportSchema identifies the run-report JSON shape; bump on breaking
+// changes so downstream tooling can dispatch.
+const ReportSchema = "hydra-run-report/v1"
+
+// Report is the machine-readable artifact of one experiment target: a
+// self-describing record of what ran (tool, target, parameters), how
+// it performed per workload, and the full metric snapshot spanning the
+// memory system, the tracker, and the mitigation layer. One report per
+// target; cmd/experiments writes them wrapped in a ReportFile.
+type Report struct {
+	Schema    string         `json:"schema"`
+	Tool      string         `json:"tool"`
+	Target    string         `json:"target"`
+	CreatedAt time.Time      `json:"created_at"`
+	GoVersion string         `json:"go_version"`
+	Params    map[string]any `json:"params,omitempty"`
+
+	// ElapsedSec is the wall-clock runtime of the target.
+	ElapsedSec float64 `json:"elapsed_sec"`
+
+	// Schemes lists the tracker configurations swept, excluding the
+	// non-secure baseline (for perf targets).
+	Schemes []string `json:"schemes,omitempty"`
+
+	// Workloads holds the per-workload results (for perf targets).
+	Workloads []WorkloadReport `json:"workloads,omitempty"`
+
+	// Geomeans maps scheme -> suite -> geometric-mean normalized
+	// performance, including the "ALL" aggregate (the paper's bar
+	// groups).
+	Geomeans map[string]map[string]float64 `json:"geomeans,omitempty"`
+
+	// Metrics is the aggregated snapshot across every simulated run of
+	// the target: counters summed, histograms merged.
+	Metrics Metrics `json:"metrics,omitempty"`
+
+	// Extra carries targets whose natural shape is not a perf sweep
+	// (storage tables, attack oracles), marshaled as-is.
+	Extra any `json:"extra,omitempty"`
+}
+
+// WorkloadReport is one workload's row of a perf target.
+type WorkloadReport struct {
+	Name  string `json:"name"`
+	Suite string `json:"suite"`
+	// NormPerf maps scheme -> performance normalized to the non-secure
+	// baseline (1.0 = no slowdown).
+	NormPerf map[string]float64 `json:"norm_perf"`
+	// SlowdownPct maps scheme -> (1-NormPerf)*100, the paper's unit.
+	SlowdownPct map[string]float64 `json:"slowdown_pct"`
+	// Metrics maps scheme -> that run's metric snapshot.
+	Metrics map[string]Metrics `json:"metrics,omitempty"`
+}
+
+// NewReport stamps the envelope fields common to every tool.
+func NewReport(tool, target string) *Report {
+	return &Report{
+		Schema:    ReportSchema,
+		Tool:      tool,
+		Target:    target,
+		CreatedAt: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Validate checks the fields every consumer relies on. It is the
+// contract the BENCH trajectory tests pin.
+func (r *Report) Validate() error {
+	switch {
+	case r.Schema != ReportSchema:
+		return fmt.Errorf("obsv: report schema %q, want %q", r.Schema, ReportSchema)
+	case r.Tool == "":
+		return fmt.Errorf("obsv: report missing tool")
+	case r.Target == "":
+		return fmt.Errorf("obsv: report missing target")
+	case r.CreatedAt.IsZero():
+		return fmt.Errorf("obsv: report missing created_at")
+	case r.GoVersion == "":
+		return fmt.Errorf("obsv: report missing go_version")
+	}
+	for _, w := range r.Workloads {
+		if w.Name == "" {
+			return fmt.Errorf("obsv: workload report missing name")
+		}
+		if len(w.NormPerf) == 0 {
+			return fmt.Errorf("obsv: workload %s missing norm_perf", w.Name)
+		}
+		for s, v := range w.NormPerf {
+			if v <= 0 {
+				return fmt.Errorf("obsv: workload %s scheme %s: non-positive norm_perf %g", w.Name, s, v)
+			}
+		}
+	}
+	return nil
+}
+
+// ReportFile is the on-disk envelope: one file may hold several
+// targets' reports from a single invocation.
+type ReportFile struct {
+	Schema  string    `json:"schema"`
+	Reports []*Report `json:"reports"`
+}
+
+// ReportFileSchema identifies the file envelope.
+const ReportFileSchema = "hydra-report-file/v1"
+
+// NewReportFile wraps reports in the file envelope.
+func NewReportFile(reports ...*Report) *ReportFile {
+	return &ReportFile{Schema: ReportFileSchema, Reports: reports}
+}
+
+// Validate checks the envelope and every contained report.
+func (f *ReportFile) Validate() error {
+	if f.Schema != ReportFileSchema {
+		return fmt.Errorf("obsv: report file schema %q, want %q", f.Schema, ReportFileSchema)
+	}
+	if len(f.Reports) == 0 {
+		return fmt.Errorf("obsv: report file has no reports")
+	}
+	for _, r := range f.Reports {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode writes the file as indented JSON.
+func (f *ReportFile) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// WriteFile writes the report file to path ("-" means stdout).
+func (f *ReportFile) WriteFile(path string) error {
+	if path == "-" {
+		return f.Encode(os.Stdout)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Encode(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadReportFile parses and validates a report file from disk, the
+// round-trip used by regression tooling.
+func ReadReportFile(path string) (*ReportFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ReportFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obsv: %s: %w", path, err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("obsv: %s: %w", path, err)
+	}
+	return &f, nil
+}

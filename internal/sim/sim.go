@@ -20,6 +20,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/memsim"
 	"repro/internal/mitigate"
+	"repro/internal/obsv"
 	"repro/internal/rh"
 	"repro/internal/track"
 	"repro/internal/workload"
@@ -93,6 +94,12 @@ type Config struct {
 	// mitigation the controller performs, for security oracles.
 	Observer Observer
 
+	// Trace, when non-nil, records activation, mitigation, refresh,
+	// GCT-saturation and window-reset events with cycle timestamps
+	// into a bounded ring (see internal/obsv). Nil costs one branch
+	// per event site.
+	Trace *obsv.Tracer
+
 	// WindowCycles overrides the tracking-window length in core
 	// cycles (0 = the real 64 ms, memsim.WindowCycles). Tests use a
 	// short window to exercise the reset path.
@@ -147,6 +154,11 @@ type Result struct {
 	Throttles int64
 	Hydra     *core.Stats // set for Hydra runs
 	CRA       *craStats   // set for CRA runs
+
+	// Metrics is the run's observability snapshot: the "memsim.*",
+	// tracker and "mitig.*"/"sim.*" families gathered when the run
+	// finished (docs/METRICS.md names every entry).
+	Metrics obsv.Metrics
 }
 
 type craStats struct {
@@ -218,10 +230,14 @@ func New(cfg Config) (*System, error) {
 
 	mcfg := memsim.DefaultConfig(cfg.Mem)
 	mcfg.OnACT = s.onACT
+	mcfg.Trace = cfg.Trace
 	s.mem = memsim.New(mcfg)
 
 	if err := s.makeTracker(&cfg); err != nil {
 		return nil, err
+	}
+	if h, ok := s.tracker.(*core.Tracker); ok && cfg.Trace != nil {
+		h.AttachTracer(cfg.Trace, func() int64 { return s.now })
 	}
 	if s.tracker != nil && s.tracker.MetaRows() > 0 {
 		s.region = dram.NewReservedRegion(cfg.Mem, s.tracker.MetaRows())
@@ -388,6 +404,9 @@ func (s *System) submitMeta(off uint64, kind memsim.Kind) {
 // to the tracker and turns mitigations into victim-refresh requests.
 func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 	s.actsByKind[kind]++
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Emit(obsv.Event{Cycle: at, Kind: obsv.EvActivate, Row: row, Aux: int64(kind)})
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.Activated(rh.Row(row))
 	}
@@ -395,10 +414,11 @@ func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 		return
 	}
 	s.now = at
-	var mitig bool
+	var mitig, meta bool
 	if s.region != nil {
 		if idx, ok := s.region.MetaIndex(row); ok {
 			mitig = s.tracker.ActivateMeta(idx)
+			meta = true
 		} else {
 			mitig = s.tracker.Activate(rh.Row(row))
 		}
@@ -409,6 +429,13 @@ func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 		return
 	}
 	s.mitigations++
+	if s.cfg.Trace != nil {
+		var aux int64
+		if meta {
+			aux = 1
+		}
+		s.cfg.Trace.Emit(obsv.Event{Cycle: at, Kind: obsv.EvMitigate, Row: row, Aux: aux})
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.Mitigated(rh.Row(row))
 	}
@@ -456,6 +483,9 @@ func (s *System) Run() (Result, error) {
 			}
 			if wr, ok := s.cfg.Observer.(interface{ WindowReset() }); ok {
 				wr.WindowReset()
+			}
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Emit(obsv.Event{Cycle: s.nextReset, Kind: obsv.EvWindowReset, Aux: s.resets})
 			}
 			s.nextReset += s.window
 			s.resets++
@@ -512,7 +542,37 @@ func (s *System) result() Result {
 			r.CRA = &craStats{Hits: c.Hits, MissFetches: c.MissFetches, Writebacks: c.Writebacks}
 		}
 	}
+	r.Metrics = s.collectMetrics(&r)
 	return r
+}
+
+// collectMetrics gathers the run's observability snapshot: the memory
+// system registers the "memsim.*" family, the tracker its own family,
+// and the system itself the "sim.*" and "mitig.*" names.
+func (s *System) collectMetrics(r *Result) obsv.Metrics {
+	reg := obsv.NewRegistry()
+	r.Mem.CollectInto(reg)
+	if src, ok := s.tracker.(obsv.Source); ok {
+		src.CollectInto(reg)
+	}
+	reg.Count("sim.cycles", r.Cycles)
+	reg.Count("sim.insts", r.Insts)
+	reg.Gauge("sim.ipc", r.IPC())
+	reg.Count("sim.window_resets", s.resets)
+	reg.Count("sim.acts.mitig", s.actsByKind[memsim.MitigAct])
+	reg.Count("sim.acts.read", s.actsByKind[memsim.ReadReq])
+	reg.Count("sim.acts.meta_read", s.actsByKind[memsim.MetaRead])
+	reg.Count("sim.acts.meta_write", s.actsByKind[memsim.MetaWrite])
+	reg.Count("sim.acts.write", s.actsByKind[memsim.WriteReq])
+	reg.Count("mitig.issued", s.mitigations)
+	reg.Count("mitig.victim_acts", r.Mem.MitigActs)
+	reg.Count("mitig.swaps", s.swaps)
+	reg.Count("mitig.throttles", s.throttles)
+	reg.Count("mitig.throttle_delays", s.throttleDelays)
+	if s.tracker != nil {
+		reg.Gauge("tracker.sram_bytes", float64(s.tracker.SRAMBytes()))
+	}
+	return reg.Snapshot()
 }
 
 // Run builds a system from cfg and runs it: the one-call entry point.

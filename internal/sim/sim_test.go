@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/cpu"
@@ -63,7 +64,7 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Cycles != b.Cycles || a.Mitigations != b.Mitigations || a.Mem != b.Mem {
+	if a.Cycles != b.Cycles || a.Mitigations != b.Mitigations || !reflect.DeepEqual(a.Mem, b.Mem) {
 		t.Fatalf("runs diverged: %+v vs %+v", a, b)
 	}
 }
@@ -261,7 +262,7 @@ func TestTraceReplayMatchesGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if replay.Cycles != gen.Cycles || replay.Mem != gen.Mem || replay.Mitigations != gen.Mitigations {
+	if replay.Cycles != gen.Cycles || !reflect.DeepEqual(replay.Mem, gen.Mem) || replay.Mitigations != gen.Mitigations {
 		t.Fatalf("replay diverged: %+v vs %+v", replay, gen)
 	}
 }

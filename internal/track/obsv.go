@@ -1,0 +1,42 @@
+package track
+
+import "repro/internal/obsv"
+
+// This file registers every baseline tracker into the observability
+// layer (internal/obsv). Each scheme exports its lifetime counters
+// under its own metric family — "graphene.*", "cra.*", "ocpr.*",
+// "para.*" — plus the shared "tracker.mitigations" name the harness
+// aggregates across schemes. All names are documented in
+// docs/METRICS.md.
+
+// CollectInto implements obsv.Source.
+func (g *Graphene) CollectInto(r *obsv.Registry) {
+	r.Count("graphene.mitigations", g.Mitigations)
+	r.Count("tracker.mitigations", g.Mitigations)
+	var spill int64
+	for i := range g.banks {
+		spill += int64(g.banks[i].spillover)
+	}
+	r.Gauge("graphene.spillover", float64(spill))
+}
+
+// CollectInto implements obsv.Source.
+func (c *CRA) CollectInto(r *obsv.Registry) {
+	r.Count("cra.mitigations", c.Mitigations)
+	r.Count("cra.hits", c.Hits)
+	r.Count("cra.miss_fetches", c.MissFetches)
+	r.Count("cra.writebacks", c.Writebacks)
+	r.Count("tracker.mitigations", c.Mitigations)
+}
+
+// CollectInto implements obsv.Source.
+func (o *OCPR) CollectInto(r *obsv.Registry) {
+	r.Count("ocpr.mitigations", o.Mitigations)
+	r.Count("tracker.mitigations", o.Mitigations)
+}
+
+// CollectInto implements obsv.Source.
+func (p *PARA) CollectInto(r *obsv.Registry) {
+	r.Count("para.mitigations", p.Mitigations)
+	r.Count("tracker.mitigations", p.Mitigations)
+}
