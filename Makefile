@@ -4,7 +4,7 @@ GO       ?= go
 SCALE    ?= 64
 BENCHOUT ?= BENCH_pr1.json
 
-.PHONY: all build test bench bench-json figures clean
+.PHONY: all build test check bench bench-json figures clean
 
 all: build test
 
@@ -14,6 +14,12 @@ build:
 # Tier-1: the bar every PR must clear.
 test:
 	$(GO) build ./... && $(GO) test ./...
+
+# Stricter pre-merge gate: static analysis plus the full test suite
+# under the race detector (the campaign harness is concurrent).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...

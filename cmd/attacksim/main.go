@@ -7,14 +7,16 @@
 //
 //	attacksim -tracker hydra -trh 500 -acts 2000000
 //	attacksim -tracker all
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/attack"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/obsv"
@@ -24,26 +26,32 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	trackerName := flag.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|all")
-	trh := flag.Int("trh", 500, "row-hammer threshold")
-	acts := flag.Int("acts", 2_000_000, "demand activations per window")
-	windows := flag.Int("windows", 2, "tracking windows (reset between)")
-	full := flag.Bool("full", false, "run the attack through the full timing simulator (hydra only)")
-	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
-	memProf := flag.String("memprofile", "", "write a pprof heap profile")
-	flag.Parse()
+func main() { cli.Main("attacksim", run) }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
+	trackerName := fs.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|all")
+	trh := fs.Int("trh", 500, "row-hammer threshold")
+	acts := fs.Int("acts", 2_000_000, "demand activations per window")
+	windows := fs.Int("windows", 2, "tracking windows (reset between)")
+	full := fs.Bool("full", false, "run the attack through the full timing simulator (hydra only)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
 
 	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "attacksim:", err)
-		os.Exit(1)
+		return err
 	}
 	defer stopProfiles()
 
 	if *full {
-		runFullSystem(*trh, *acts)
-		return
+		if err := runFullSystem(*trh, *acts); err != nil {
+			return err
+		}
+		return stopProfiles()
 	}
 
 	geom := track.BaselineGeometry()
@@ -79,8 +87,7 @@ func main() {
 		for _, mk := range patterns {
 			tr, err := makeTracker(name, geom, *trh)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "attacksim:", err)
-				os.Exit(1)
+				return cli.Usagef("%v", err)
 			}
 			res := attack.Run(tr, mk(), cfg)
 			fmt.Println(res)
@@ -93,6 +100,7 @@ func main() {
 		fmt.Println("\nNOTE: violations above are expected for probabilistic or")
 		fmt.Println("undersized trackers; Hydra must always report SAFE.")
 	}
+	return stopProfiles()
 }
 
 func makeTracker(name string, geom track.Geometry, trh int) (rh.Tracker, error) {
@@ -123,15 +131,14 @@ func makeTracker(name string, geom track.Geometry, trh int) (rh.Tracker, error) 
 // runFullSystem drives a double-sided attack through the timing
 // simulator with background victim traffic and the oracle attached to
 // the controller's real activation stream.
-func runFullSystem(trh, acts int) {
+func runFullSystem(trh, acts int) error {
 	mem := dram.Baseline()
 	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 70000})
 	oracle := attack.NewOracle(trh)
 
 	p, err := workload.ByName("xz") // background victim workload
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "attacksim:", err)
-		os.Exit(1)
+		return err
 	}
 	cfg := sim.Default(p)
 	cfg.Scale = 16
@@ -142,8 +149,7 @@ func runFullSystem(trh, acts int) {
 
 	res, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "attacksim:", err)
-		os.Exit(1)
+		return err
 	}
 	verdict := "SAFE"
 	if !oracle.Safe() {
@@ -152,4 +158,5 @@ func runFullSystem(trh, acts int) {
 	}
 	fmt.Printf("full-system double-sided vs hydra: acts=%d mitig=%d victim-refreshes=%d maxUnmitig=%d %s\n",
 		res.Mem.Activates, res.Mitigations, res.Mem.MitigActs, oracle.MaxSeen, verdict)
+	return nil
 }

@@ -5,24 +5,36 @@
 //	experiments [flags] <target>...
 //
 // Targets: table1 table2 table3 table4 table5 fig1b fig2 fig5 fig6 fig7
-// fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies all
+// fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies
+// chaos all
 //
 // Flags:
 //
-//	-scale N         footprint scale (1 = full 64 ms window; default 16)
-//	-trh N           row-hammer threshold (default 500)
-//	-workloads a,b   restrict to the named workloads
-//	-par N           parallel simulations (default NumCPU)
-//	-seed N          workload seed (0 is a valid seed)
-//	-json FILE       write a machine-readable run report ("-" = stdout)
-//	-trace FILE      write a JSONL event trace (serializes the sweep)
-//	-trace-cap N     event ring capacity (oldest dropped beyond this)
-//	-cpuprofile FILE write a pprof CPU profile
-//	-memprofile FILE write a pprof heap profile
+//	-scale N          footprint scale (1 = full 64 ms window; default 16)
+//	-trh N            row-hammer threshold (default 500)
+//	-workloads a,b    restrict to the named workloads
+//	-par N            parallel simulations (default NumCPU)
+//	-seed N           workload seed (0 is a valid seed)
+//	-json FILE        write a machine-readable run report ("-" = stdout)
+//	-trace FILE       write a JSONL event trace (serializes the sweep)
+//	-trace-cap N      event ring capacity (oldest dropped beyond this)
+//	-resume FILE      checkpoint completed sweep cells to FILE and skip
+//	                  them on the next run (schema hydra-checkpoint/v1)
+//	-cell-timeout D   wall-clock budget per sweep cell (0 = unbounded)
+//	-stall-timeout D  kill cells whose simulated-cycle counter stalls
+//	                  this long (0 = no watchdog)
+//	-retries N        retry failed cells with a perturbed seed
+//	-chaos a,b        restrict the chaos target to the named scenarios
+//	-cpuprofile FILE  write a pprof CPU profile
+//	-memprofile FILE  write a pprof heap profile
 //
 // With -json, every target's report (schema hydra-run-report/v1,
 // documented in docs/METRICS.md) is collected into one report file;
-// text tables still go to stdout unless -json is "-".
+// text tables still go to stdout unless -json is "-". Failed sweep
+// cells never abort a perf target: they are reported per cell in the
+// "cells" section and the remaining cells complete.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -32,64 +44,102 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
+	"repro/internal/faults"
+	"repro/internal/harness"
 	"repro/internal/obsv"
 )
 
-func main() {
-	scale := flag.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
-	trh := flag.Int("trh", 500, "row-hammer threshold")
-	workloads := flag.String("workloads", "", "comma-separated workload subset")
-	par := flag.Int("par", 0, "parallel simulations (0 = NumCPU)")
-	seed := flag.Uint64("seed", 1, "workload seed (0 is a valid seed)")
-	jsonOut := flag.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
-	traceOut := flag.String("trace", "", "write a JSONL event trace (serializes the sweep)")
-	traceCap := flag.Int("trace-cap", 1<<20, "event-trace ring capacity")
-	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
-	memProf := flag.String("memprofile", "", "write a pprof heap profile")
-	flag.Parse()
+func main() { cli.Main("experiments", run) }
 
-	opts := exp.Options{Scale: *scale, TRH: *trh, Parallelism: *par, Seed: seed}
+var allTargets = []string{"table1", "table2", "table3", "table4", "table5",
+	"fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "power",
+	"ext-rand", "ext-ddr5", "ext-rowswap", "ext-policies", "chaos"}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scale := fs.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
+	trh := fs.Int("trh", 500, "row-hammer threshold")
+	workloads := fs.String("workloads", "", "comma-separated workload subset")
+	par := fs.Int("par", 0, "parallel simulations (0 = NumCPU)")
+	seed := fs.Uint64("seed", 1, "workload seed (0 is a valid seed)")
+	jsonOut := fs.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
+	traceOut := fs.String("trace", "", "write a JSONL event trace (serializes the sweep)")
+	traceCap := fs.Int("trace-cap", 1<<20, "event-trace ring capacity")
+	resume := fs.String("resume", "", "checkpoint file: completed cells are skipped on rerun")
+	cellTimeout := fs.Duration("cell-timeout", 0, "wall-clock budget per sweep cell (0 = unbounded)")
+	stallTimeout := fs.Duration("stall-timeout", 0, "kill cells stalled this long (0 = no watchdog)")
+	retries := fs.Int("retries", 0, "retry failed cells with a perturbed seed")
+	chaos := fs.String("chaos", "", "comma-separated chaos scenarios (default: all built-ins)")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
+
+	opts := exp.Options{
+		Scale:        *scale,
+		TRH:          *trh,
+		Parallelism:  *par,
+		Seed:         seed,
+		CellTimeout:  *cellTimeout,
+		StallTimeout: *stallTimeout,
+		Retries:      *retries,
+	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 	if *traceOut != "" {
 		opts.Trace = obsv.NewTracer(*traceCap)
 	}
+	if *resume != "" {
+		cp, err := harness.OpenCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		if n := cp.Len(); n > 0 {
+			fmt.Printf("[resuming: %d completed cells in %s]\n", n, *resume)
+		}
+		opts.Checkpoint = cp
+	}
+	var scenarios []string
+	if *chaos != "" {
+		scenarios = strings.Split(*chaos, ",")
+		for _, name := range scenarios {
+			if _, err := faults.ScenarioByName(name); err != nil {
+				return cli.Usagef("%v", err)
+			}
+		}
+	}
 
-	targets := flag.Args()
+	targets := fs.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <target>...")
-		fmt.Fprintln(os.Stderr, "targets: table1 table2 table3 table4 table5 fig1b fig2 fig5 fig6 fig7 fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies all")
-		os.Exit(2)
+		return cli.Usagef("usage: experiments [flags] <target>...\ntargets: %s all",
+			strings.Join(allTargets, " "))
 	}
 	if len(targets) == 1 && targets[0] == "all" {
-		targets = []string{"table1", "table2", "table3", "table4", "table5",
-			"fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "power",
-			"ext-rand", "ext-ddr5", "ext-rowswap", "ext-policies"}
+		targets = allTargets
 	}
 
 	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return err
 	}
-	fail := func(target string, err error) {
-		stopProfiles()
-		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", target, err)
-		os.Exit(1)
-	}
+	defer stopProfiles()
 
 	var reports []*obsv.Report
 	for _, target := range targets {
+		topts := opts
+		topts.Target = target
 		start := time.Now()
-		rep, err := run(target, opts)
+		rep, err := runTarget(target, topts, scenarios)
 		if err != nil {
-			fail(target, err)
+			return fmt.Errorf("%s: %w", target, err)
 		}
 		elapsed := time.Since(start)
 		if *jsonOut != "" {
-			reports = append(reports, exp.BuildReport(target, opts, rep, elapsed))
+			reports = append(reports, exp.BuildReport(target, topts, rep, elapsed))
 		}
 		if *jsonOut != "-" {
 			fmt.Println(format(rep))
@@ -99,29 +149,34 @@ func main() {
 
 	if *jsonOut != "" {
 		if err := obsv.NewReportFile(reports...).WriteFile(*jsonOut); err != nil {
-			fail("json", err)
+			return fmt.Errorf("json: %w", err)
 		}
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail("trace", err)
-		}
-		if err := opts.Trace.WriteJSONL(f); err != nil {
-			f.Close()
-			fail("trace", err)
-		}
-		if err := f.Close(); err != nil {
-			fail("trace", err)
-		}
-		if d := opts.Trace.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "experiments: trace ring dropped %d oldest events (raise -trace-cap to keep more)\n", d)
+		if err := writeTrace(opts.Trace, *traceOut); err != nil {
+			return fmt.Errorf("trace: %w", err)
 		}
 	}
-	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments: profiles:", err)
-		os.Exit(1)
+	return stopProfiles()
+}
+
+// writeTrace dumps the event ring as JSONL.
+func writeTrace(tr *obsv.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Printf("[trace ring dropped %d oldest events; raise -trace-cap to keep more]\n", d)
+	}
+	return nil
 }
 
 // formatter is implemented by every structured report.
@@ -134,101 +189,47 @@ func format(rep any) string {
 	return fmt.Sprint(rep)
 }
 
-func run(target string, opts exp.Options) (any, error) {
+func runTarget(target string, opts exp.Options, scenarios []string) (any, error) {
 	switch target {
 	case "table1":
 		return exp.Table1Text(), nil
 	case "table2":
 		return exp.Table2Text(), nil
 	case "table3":
-		r, err := exp.Table3(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Table3(opts)
 	case "table4":
 		return exp.Table4Text(), nil
 	case "table5":
 		return exp.Table5Text(opts.TRH), nil
 	case "fig1b":
-		r, err := exp.Figure1b(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure1b(opts)
 	case "fig2":
-		r, err := exp.Figure2(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure2(opts)
 	case "fig5":
-		r, err := exp.Figure5(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure5(opts)
 	case "fig6":
-		r, err := exp.Figure6(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure6(opts)
 	case "fig7":
-		r, err := exp.Figure7(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure7(opts)
 	case "fig8":
-		r, err := exp.Figure8(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure8(opts)
 	case "fig9":
-		r, err := exp.Figure9(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure9(opts)
 	case "fig10":
-		r, err := exp.Figure10(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Figure10(opts)
 	case "power":
-		r, err := exp.Power(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.Power(opts)
 	case "ext-rand":
-		r, err := exp.ExtensionRandomized(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.ExtensionRandomized(opts)
 	case "ext-ddr5":
-		r, err := exp.ExtensionDDR5(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.ExtensionDDR5(opts)
 	case "ext-rowswap":
-		r, err := exp.ExtensionRowSwap(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.ExtensionRowSwap(opts)
 	case "ext-policies":
-		r, err := exp.ExtensionPolicies(opts)
-		if err != nil {
-			return "", err
-		}
-		return r, nil
+		return exp.ExtensionPolicies(opts)
+	case "chaos":
+		return exp.Chaos(opts, scenarios)
 	default:
-		return "", fmt.Errorf("unknown target %q", target)
+		return nil, cli.Usagef("unknown target %q (targets: %s all)", target, strings.Join(allTargets, " "))
 	}
 }

@@ -7,13 +7,20 @@
 //
 //	hydrasim -workload parest -tracker hydra -scale 16 -trh 500
 //	hydrasim -workload GUPS -json run.json -trace run.jsonl
+//	hydrasim -workload 'custom:SPEC:20:16000:400:40'    # ad-hoc profile
 //
 // Trackers: none hydra hydra-nogct hydra-norcc graphene cra ocpr para
+//
+// The -workload flag accepts a named profile from Table 3, "list" to
+// enumerate them, or an inline spec "name:suite:mpki:rows:hot:actsper"
+// (see workload.ParseProfile).
 //
 // -json writes a machine-readable run report (schema
 // hydra-run-report/v1), -trace a JSONL event trace, and
 // -cpuprofile/-memprofile pprof profiles; all are documented in
 // docs/METRICS.md.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/cpu"
 	"repro/internal/obsv"
 	"repro/internal/sim"
@@ -32,40 +40,43 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
-	name := flag.String("workload", "parest", "workload name (see Table 3) or 'list'")
-	tracker := flag.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para")
-	scale := flag.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
-	trh := flag.Int("trh", 500, "row-hammer threshold")
-	craKB := flag.Int("cra-cache-kb", 64, "CRA metadata-cache size in KB")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	baseline := flag.Bool("baseline", true, "also run the non-secure baseline and report slowdown")
-	policy := flag.String("mitigation", "refresh", "mitigation policy: refresh|rowswap|throttle")
-	traceDir := flag.String("tracedir", "", "replay recorded traces (core*.trc from tracegen) instead of generating")
-	jsonOut := flag.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
-	traceOut := flag.String("trace", "", "write a JSONL event trace of the tracked run")
-	traceCap := flag.Int("trace-cap", 1<<20, "event-trace ring capacity")
-	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
-	memProf := flag.String("memprofile", "", "write a pprof heap profile")
-	flag.Parse()
+func main() { cli.Main("hydrasim", run) }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hydrasim", flag.ContinueOnError)
+	name := fs.String("workload", "parest", "workload name (see Table 3), 'list', or an inline spec name:suite:mpki:rows:hot:actsper")
+	tracker := fs.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para")
+	scale := fs.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
+	trh := fs.Int("trh", 500, "row-hammer threshold")
+	craKB := fs.Int("cra-cache-kb", 64, "CRA metadata-cache size in KB")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	baseline := fs.Bool("baseline", true, "also run the non-secure baseline and report slowdown")
+	policy := fs.String("mitigation", "refresh", "mitigation policy: refresh|rowswap|throttle")
+	traceDir := fs.String("tracedir", "", "replay recorded traces (core*.trc from tracegen) instead of generating")
+	jsonOut := fs.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
+	traceOut := fs.String("trace", "", "write a JSONL event trace of the tracked run")
+	traceCap := fs.Int("trace-cap", 1<<20, "event-trace ring capacity")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
 
 	if *name == "list" {
 		for _, p := range workload.Profiles() {
 			fmt.Printf("%-12s %-10s MPKI=%-6.2f rows=%-7d hot=%-5d acts/row=%.1f\n",
 				p.Name, p.Suite, p.MPKI, p.UniqueRows, p.Hot250, p.ActsPerRow)
 		}
-		return
+		return nil
 	}
 
-	p, err := workload.ByName(*name)
+	p, err := workload.ByNameOrSpec(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydrasim:", err)
-		os.Exit(1)
+		return cli.Usagef("%v", err)
 	}
 	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydrasim:", err)
-		os.Exit(1)
+		return err
 	}
 	defer stopProfiles()
 
@@ -81,23 +92,21 @@ func main() {
 	}
 	if *traceDir != "" {
 		srcs, closers, err := loadTraces(*traceDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hydrasim:", err)
-			os.Exit(1)
-		}
 		defer func() {
 			for _, c := range closers {
 				c.Close()
 			}
 		}()
+		if err != nil {
+			return err
+		}
 		cfg.Traces = srcs
 	}
 
 	start := time.Now()
 	res, err := sim.Run(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydrasim:", err)
-		os.Exit(1)
+		return err
 	}
 	elapsed := time.Since(start)
 
@@ -131,8 +140,7 @@ func main() {
 		bcfg.Trace = nil // trace only the tracked run
 		base, err := sim.Run(bcfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hydrasim: baseline:", err)
-			os.Exit(1)
+			return fmt.Errorf("baseline: %w", err)
 		}
 		norm = float64(base.Cycles) / float64(res.Cycles)
 		fmt.Printf("baseline   %d cycles -> normalized perf %.4f (slowdown %.2f%%)\n",
@@ -158,36 +166,30 @@ func main() {
 			}}
 		}
 		if err := obsv.NewReportFile(rep).WriteFile(*jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "hydrasim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hydrasim:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := cfg.Trace.WriteJSONL(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "hydrasim:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "hydrasim:", err)
-			os.Exit(1)
+			return err
 		}
 		if d := cfg.Trace.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "hydrasim: trace ring dropped %d oldest events (raise -trace-cap)\n", d)
+			fmt.Printf("[trace ring dropped %d oldest events; raise -trace-cap]\n", d)
 		}
 	}
-	if err := stopProfiles(); err != nil {
-		fmt.Fprintln(os.Stderr, "hydrasim: profiles:", err)
-		os.Exit(1)
-	}
+	return stopProfiles()
 }
 
-// loadTraces opens every core*.trc in dir, in core order.
+// loadTraces opens every core*.trc in dir, in core order. The returned
+// closers are valid even on error (close what was opened).
 func loadTraces(dir string) ([]cpu.TraceSource, []*os.File, error) {
 	files, err := filepath.Glob(filepath.Join(dir, "core*.trc"))
 	if err != nil {
@@ -204,13 +206,12 @@ func loadTraces(dir string) ([]cpu.TraceSource, []*os.File, error) {
 		if err != nil {
 			return nil, closers, err
 		}
+		closers = append(closers, f)
 		r, err := trace.NewReader(f)
 		if err != nil {
-			f.Close()
 			return nil, closers, fmt.Errorf("%s: %w", path, err)
 		}
 		srcs = append(srcs, r)
-		closers = append(closers, f)
 	}
 	return srcs, closers, nil
 }

@@ -7,6 +7,8 @@
 //
 //	tracegen -workload parest -scale 16 -out /tmp/parest     # record
 //	tracegen -verify /tmp/parest                              # check
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
 
 import (
@@ -15,45 +17,48 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cli"
 	"repro/internal/dram"
 	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-func main() {
-	name := flag.String("workload", "parest", "workload to record")
-	scale := flag.Float64("scale", 16, "footprint scale")
-	cores := flag.Int("cores", 8, "number of cores (one file per core)")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	out := flag.String("out", "", "output directory (created if missing)")
-	verify := flag.String("verify", "", "verify a recorded trace directory and print stats")
-	cpuProf := flag.String("cpuprofile", "", "write a pprof CPU profile")
-	memProf := flag.String("memprofile", "", "write a pprof heap profile")
-	flag.Parse()
+func main() { cli.Main("tracegen", run) }
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	name := fs.String("workload", "parest", "workload to record")
+	scale := fs.Float64("scale", 16, "footprint scale")
+	cores := fs.Int("cores", 8, "number of cores (one file per core)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output directory (created if missing)")
+	verify := fs.String("verify", "", "verify a recorded trace directory and print stats")
+	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
+	memProf := fs.String("memprofile", "", "write a pprof heap profile")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
 
 	stopProfiles, err := obsv.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
 	defer stopProfiles()
 
 	if *verify != "" {
 		if err := verifyDir(*verify); err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
+			return err
 		}
-		return
+		return stopProfiles()
 	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -out directory required")
-		os.Exit(2)
+		return cli.Usagef("-out directory required")
 	}
 	if err := record(*name, *scale, *cores, *seed, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return err
 	}
+	return stopProfiles()
 }
 
 func record(name string, scale float64, cores int, seed uint64, out string) error {

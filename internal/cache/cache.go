@@ -63,16 +63,28 @@ type SetAssoc struct {
 
 // New creates a cache with the given total entry count and
 // associativity. Entries must be a positive multiple of ways.
-func New(entries, ways int, policy Policy) *SetAssoc {
+func New(entries, ways int, policy Policy) (*SetAssoc, error) {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
-		panic(fmt.Sprintf("cache: entries=%d must be a positive multiple of ways=%d", entries, ways))
+		return nil, fmt.Errorf("cache: entries=%d must be a positive multiple of ways=%d", entries, ways)
+	}
+	if policy != LRU && policy != SRRIP {
+		return nil, fmt.Errorf("cache: unknown policy %d", policy)
 	}
 	return &SetAssoc{
 		sets:   entries / ways,
 		ways:   ways,
 		policy: policy,
 		data:   make([]way, entries),
+	}, nil
+}
+
+// MustNew is New for statically valid geometries.
+func MustNew(entries, ways int, policy Policy) *SetAssoc {
+	c, err := New(entries, ways, policy)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Entries returns the total capacity in entries.

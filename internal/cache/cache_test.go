@@ -7,23 +7,21 @@ import (
 
 func TestNewValidation(t *testing.T) {
 	for _, bad := range [][2]int{{0, 1}, {16, 0}, {10, 3}, {-4, 2}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%d,%d) should panic", bad[0], bad[1])
-				}
-			}()
-			New(bad[0], bad[1], LRU)
-		}()
+		if _, err := New(bad[0], bad[1], LRU); err == nil {
+			t.Errorf("New(%d,%d) should error", bad[0], bad[1])
+		}
 	}
-	c := New(32, 4, SRRIP)
+	if _, err := New(16, 4, Policy(99)); err == nil {
+		t.Error("unknown policy should error")
+	}
+	c := MustNew(32, 4, SRRIP)
 	if c.Sets() != 8 || c.Ways() != 4 || c.Entries() != 32 {
 		t.Fatalf("geometry = %d sets x %d ways", c.Sets(), c.Ways())
 	}
 }
 
 func TestHitMissAccounting(t *testing.T) {
-	c := New(16, 4, LRU)
+	c := MustNew(16, 4, LRU)
 	if _, ok := c.Lookup(42); ok {
 		t.Fatal("hit in empty cache")
 	}
@@ -38,7 +36,7 @@ func TestHitMissAccounting(t *testing.T) {
 }
 
 func TestUpdateAndDirtyEviction(t *testing.T) {
-	c := New(4, 4, LRU) // single set of 4 ways
+	c := MustNew(4, 4, LRU) // single set of 4 ways
 	for k := uint64(0); k < 4; k++ {
 		c.Insert(k*4, uint32(k), false) // all map to set 0
 	}
@@ -66,7 +64,7 @@ func TestUpdateAndDirtyEviction(t *testing.T) {
 }
 
 func TestInsertResidentUpdates(t *testing.T) {
-	c := New(8, 2, LRU)
+	c := MustNew(8, 2, LRU)
 	c.Insert(5, 1, false)
 	if _, ev := c.Insert(5, 2, true); ev {
 		t.Fatal("re-insert evicted something")
@@ -81,7 +79,7 @@ func TestInsertResidentUpdates(t *testing.T) {
 }
 
 func TestSRRIPHitPromotion(t *testing.T) {
-	c := New(4, 4, SRRIP)
+	c := MustNew(4, 4, SRRIP)
 	for k := uint64(0); k < 4; k++ {
 		c.Insert(k*4, 0, false)
 	}
@@ -97,7 +95,7 @@ func TestSRRIPHitPromotion(t *testing.T) {
 }
 
 func TestInvalidate(t *testing.T) {
-	c := New(8, 2, LRU)
+	c := MustNew(8, 2, LRU)
 	c.Insert(3, 9, true)
 	e, ok := c.Invalidate(3)
 	if !ok || e.Val != 9 || !e.Dirty {
@@ -112,7 +110,7 @@ func TestInvalidate(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	c := New(8, 2, SRRIP)
+	c := MustNew(8, 2, SRRIP)
 	c.Insert(1, 1, true)
 	c.Lookup(1)
 	c.Lookup(2)
@@ -126,7 +124,7 @@ func TestReset(t *testing.T) {
 // holds duplicates, and a Lookup immediately after Insert always hits.
 func TestCacheInvariants(t *testing.T) {
 	for _, policy := range []Policy{LRU, SRRIP} {
-		c := New(64, 8, policy)
+		c := MustNew(64, 8, policy)
 		f := func(keys []uint16) bool {
 			for _, k := range keys {
 				key := uint64(k % 512)
@@ -156,7 +154,7 @@ func TestCacheInvariants(t *testing.T) {
 // Property: every insert of a non-resident key into a full set reports
 // exactly one eviction, so occupancy is conserved.
 func TestEvictionConservation(t *testing.T) {
-	c := New(4, 4, LRU)
+	c := MustNew(4, 4, LRU)
 	inserted := 0
 	evictions := 0
 	for k := uint64(0); k < 100; k++ {

@@ -1,0 +1,72 @@
+// Package cli is the shared entry-point scaffolding for the repo's
+// binaries. Every command is written as
+//
+//	func main() { cli.Main("tool", run) }
+//	func run(args []string) error { ... }
+//
+// so there is a single exit point per process and a consistent exit
+// code contract: 0 on success, 1 on runtime failure, 2 on a usage
+// error (bad flags, missing arguments, unknown targets). The run
+// function returns errors instead of calling os.Exit, which keeps its
+// defers (profile flushing, file closing) working.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Exit codes of every binary in this repo.
+const (
+	ExitOK      = 0
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// usageError marks a command-line mistake; Main exits 2 for it. quiet
+// suppresses Main's printing when the flag package already reported
+// the problem.
+type usageError struct {
+	msg   string
+	quiet bool
+}
+
+func (e *usageError) Error() string { return e.msg }
+
+// Usagef returns a usage error (exit code 2) with a formatted message.
+func Usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseError adapts a flag.FlagSet parse failure: flag.ErrHelp passes
+// through (Main exits 0 for -h), anything else becomes a quiet usage
+// error because the flag package has already printed the diagnostic.
+func ParseError(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return &usageError{msg: err.Error(), quiet: true}
+}
+
+// Main runs the tool body and exits the process with the contract
+// above. It is the only os.Exit call site in a binary.
+func Main(tool string, run func(args []string) error) {
+	err := run(os.Args[1:])
+	if err == nil {
+		return // exit 0
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(ExitOK)
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		if !ue.quiet {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", tool, ue.msg)
+		}
+		os.Exit(ExitUsage)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitRuntime)
+}

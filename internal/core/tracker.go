@@ -85,7 +85,11 @@ func New(cfg Config, sink rh.MemSink) (*Tracker, error) {
 		if d.RCCUseLRU {
 			policy = cache.LRU
 		}
-		t.rcc = cache.New(d.RCCEntries, d.RCCWays, policy)
+		rcc, err := cache.New(d.RCCEntries, d.RCCWays, policy)
+		if err != nil {
+			return nil, fmt.Errorf("core: sizing RCC: %w", err)
+		}
+		t.rcc = rcc
 	}
 	if d.NoGCT {
 		t.rctEpoch = make([]uint32, d.Rows/t.entriesPerLine()+1)
@@ -339,6 +343,29 @@ func (t *Tracker) ResetWindow() {
 	if t.cipher != nil {
 		t.cipher.Rekey()
 	}
+}
+
+// CorruptRCT models disturbance of the DRAM-resident RCT rows — the
+// attack surface Section 5.2.2 defends with RIT-ACT, exercised by the
+// chaos campaigns of internal/faults: each nonzero counter is zeroed
+// with probability frac (drawn from rng, which must return values in
+// [0,1)). Zeroing is the adversarial direction, since an undercount
+// can hide a hot row from mitigation. Counters cached in the SRAM RCC
+// are deliberately untouched: physically, corrupting DRAM does not
+// reach a cached copy until it is evicted and refetched. Returns how
+// many entries were corrupted.
+func (t *Tracker) CorruptRCT(frac float64, rng func() float64) int {
+	if frac <= 0 {
+		return 0
+	}
+	n := 0
+	for i, v := range t.rct {
+		if v != 0 && rng() < frac {
+			t.rct[i] = 0
+			n++
+		}
+	}
+	return n
 }
 
 // GCTValue returns the current value of the GCT entry for row (for

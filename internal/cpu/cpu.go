@@ -73,14 +73,26 @@ type Core struct {
 }
 
 // New creates a core reading from trace and issuing to mem.
-func New(id int, cfg Config, trace TraceSource, mem Memory) *Core {
+func New(id int, cfg Config, trace TraceSource, mem Memory) (*Core, error) {
 	if cfg.ROB <= 0 || cfg.Width <= 0 {
-		panic(fmt.Sprintf("cpu: bad config %+v", cfg))
+		return nil, fmt.Errorf("cpu: bad config %+v", cfg)
+	}
+	if trace == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: core %d needs a trace source and a memory", id)
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 32
 	}
-	return &Core{id: id, cfg: cfg, trace: trace, mem: mem}
+	return &Core{id: id, cfg: cfg, trace: trace, mem: mem}, nil
+}
+
+// MustNew is New for statically valid parameters.
+func MustNew(id int, cfg Config, trace TraceSource, mem Memory) *Core {
+	c, err := New(id, cfg, trace, mem)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // ID returns the core id.

@@ -64,7 +64,7 @@ func TestComputeBoundCoreSpeed(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		reqs = append(reqs, workload.Request{Gap: 4000, Line: line(dcfg, i%16, 5, i%128)})
 	}
-	c := New(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
+	c := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
 	runSystem(t, []*Core{c}, mem)
 	wantMin := int64(100 * 4000 / 4)
 	if c.FinishTime() < wantMin {
@@ -87,7 +87,7 @@ func TestMemoryBoundCoreStalls(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		reqs = append(reqs, workload.Request{Gap: 0, Line: line(dcfg, 0, 10, i%128)})
 	}
-	c := New(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
+	c := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
 	runSystem(t, []*Core{c}, mem)
 	if c.StallFor == 0 {
 		t.Fatal("memory-bound core never stalled")
@@ -102,7 +102,7 @@ func TestMemoryBoundCoreStalls(t *testing.T) {
 	for i := 0; i < 400; i++ {
 		reqs2 = append(reqs2, workload.Request{Gap: 0, Line: line(dcfg, 0, 10+(i%2)*10, 0)})
 	}
-	c2 := New(0, DefaultConfig(), &sliceTrace{reqs: reqs2}, mem2)
+	c2 := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs2}, mem2)
 	runSystem(t, []*Core{c2}, mem2)
 	if c2.FinishTime() <= c.FinishTime() {
 		t.Fatalf("row conflicts (%d) not slower than streaming (%d)", c2.FinishTime(), c.FinishTime())
@@ -123,9 +123,9 @@ func TestROBLimitsOutstandingReads(t *testing.T) {
 		return &sliceTrace{reqs: reqs}
 	}
 	smallMem := memsim.New(memsim.DefaultConfig(dcfg))
-	small := New(0, Config{ROB: 160, Width: 4}, mkReqs(), smallMem)
+	small := MustNew(0, Config{ROB: 160, Width: 4}, mkReqs(), smallMem)
 	runSystem(t, []*Core{small}, smallMem)
-	big := New(0, Config{ROB: 16000, Width: 4}, mkReqs(), mem)
+	big := MustNew(0, Config{ROB: 16000, Width: 4}, mkReqs(), mem)
 	runSystem(t, []*Core{big}, mem)
 	if big.FinishTime() >= small.FinishTime() {
 		t.Fatalf("bigger ROB not faster: %d vs %d", big.FinishTime(), small.FinishTime())
@@ -139,7 +139,7 @@ func TestWritesDoNotBlock(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		reqs = append(reqs, workload.Request{Gap: 0, Write: true, Line: line(dcfg, 0, 10+(i%2)*10, 0)})
 	}
-	c := New(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
+	c := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
 	runSystem(t, []*Core{c}, mem)
 	// Writes are posted: the core's own finish time is tiny even
 	// though the memory system grinds for a long time afterwards.
@@ -162,7 +162,7 @@ func TestBackpressureRetries(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		reqs = append(reqs, workload.Request{Gap: 0, Write: true, Line: line(dcfg, 0, 10+(i%2)*10, 0)})
 	}
-	c := New(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
+	c := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
 	runSystem(t, []*Core{c}, mem)
 	if c.Retries == 0 {
 		t.Fatal("tiny write queue never exerted backpressure")
@@ -172,11 +172,11 @@ func TestBackpressureRetries(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero ROB should panic")
-		}
-	}()
-	New(0, Config{ROB: 0, Width: 4}, &sliceTrace{}, nil)
+func TestBadConfigErrors(t *testing.T) {
+	if _, err := New(0, Config{ROB: 0, Width: 4}, &sliceTrace{}, nil); err == nil {
+		t.Fatal("zero ROB should error")
+	}
+	if _, err := New(0, DefaultConfig(), nil, nil); err == nil {
+		t.Fatal("nil trace/memory should error")
+	}
 }

@@ -7,12 +7,15 @@
 package exp
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
+	"time"
 
+	"repro/internal/harness"
 	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +45,23 @@ type Options struct {
 	// harness serializes the sweep (Parallelism 1) while tracing and
 	// separates runs with EvRunStart markers tagged "scheme/workload".
 	Trace *obsv.Tracer
+
+	// Target names the experiment target; it prefixes every campaign
+	// cell key ("target/variant/workload") so checkpoints and run
+	// reports from different targets never collide. Default "sweep".
+	Target string
+	// CellTimeout bounds each sweep cell's wall-clock time; 0 leaves
+	// cells unbounded.
+	CellTimeout time.Duration
+	// StallTimeout kills cells whose simulated-cycle counter stops
+	// advancing for this long (0 disables the watchdog).
+	StallTimeout time.Duration
+	// Retries re-runs failed cells up to this many extra times with a
+	// perturbed seed (see harness.Env.Attempt).
+	Retries int
+	// Checkpoint, when non-nil, restores previously completed cells and
+	// records new ones, enabling -resume across interrupted campaigns.
+	Checkpoint *harness.Checkpoint
 }
 
 // SeedOf returns a pointer to seed, for Options.Seed literals.
@@ -106,65 +126,125 @@ type Variant struct {
 	Mutate func(*sim.Config)
 }
 
-// cell addresses one (variant, workload) result.
-type cell struct {
-	variant  string
-	workload string
-	res      sim.Result
-	err      error
+// target returns the cell-key prefix.
+func (o Options) target() string {
+	if o.Target == "" {
+		return "sweep"
+	}
+	return o.Target
 }
 
-// runMatrix executes every (variant x profile) simulation with a
-// bounded worker pool and returns results[variant][workload].
-func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[string]map[string]sim.Result, error) {
-	type job struct {
-		v Variant
-		p workload.Profile
+// DecodeResult rebuilds a sim.Result from a checkpoint entry; install
+// it as Checkpoint.Decode when resuming sweep campaigns.
+func DecodeResult(key string, raw json.RawMessage) (any, error) {
+	var r sim.Result
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, err
 	}
-	jobs := make(chan job)
-	results := make(chan cell)
-	var wg sync.WaitGroup
-	for w := 0; w < o.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cfg := o.baseConfig(j.p)
-				j.v.Mutate(&cfg)
-				if o.Trace != nil {
-					o.Trace.Emit(obsv.Event{Kind: obsv.EvRunStart, Tag: j.v.Name + "/" + j.p.Name})
-				}
-				res, err := sim.Run(cfg)
-				results <- cell{variant: j.v.Name, workload: j.p.Name, res: res, err: err}
-			}
-		}()
+	return r, nil
+}
+
+// runMatrix executes every (variant x profile) simulation as a cell of
+// a resilient harness campaign and returns results[variant][workload]
+// plus the per-cell verdicts. A cell failure (error, panic, watchdog
+// kill, timeout — after retries) does not fail the matrix: the entry
+// is simply absent from the result maps and its CellStatus records the
+// error. Callers decide how much of the matrix they require.
+func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[string]map[string]sim.Result, []obsv.CellStatus, error) {
+	if o.Checkpoint != nil && o.Checkpoint.Decode == nil {
+		o.Checkpoint.Decode = DecodeResult
 	}
-	go func() {
-		for _, v := range variants {
-			for _, p := range profiles {
-				jobs <- job{v: v, p: p}
-			}
+	var cells []harness.Cell
+	for _, v := range variants {
+		for _, p := range profiles {
+			v, p := v, p
+			cells = append(cells, harness.Cell{
+				Key: o.target() + "/" + v.Name + "/" + p.Name,
+				Run: func(ctx context.Context, env harness.Env) (any, error) {
+					cfg := o.baseConfig(p)
+					v.Mutate(&cfg)
+					// Reseed retries so a seed-dependent corner case is
+					// not replayed verbatim.
+					cfg.Seed += uint64(env.Attempt) * 0x9e3779b9
+					cfg.Ctx = ctx
+					cfg.Progress = env.Progress
+					if o.Trace != nil {
+						o.Trace.Emit(obsv.Event{Kind: obsv.EvRunStart, Tag: v.Name + "/" + p.Name})
+					}
+					res, err := sim.Run(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return res, nil
+				},
+			})
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
+	}
+	hres, err := harness.RunCampaign(context.Background(), cells, harness.Options{
+		Workers:      o.Parallelism,
+		CellTimeout:  o.CellTimeout,
+		StallTimeout: o.StallTimeout,
+		Retries:      o.Retries,
+		Checkpoint:   o.Checkpoint,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 
 	out := make(map[string]map[string]sim.Result, len(variants))
 	for _, v := range variants {
 		out[v.Name] = make(map[string]sim.Result, len(profiles))
 	}
-	var firstErr error
-	for c := range results {
-		if c.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s/%s: %w", c.variant, c.workload, c.err)
+	statuses := make([]obsv.CellStatus, 0, len(hres))
+	i := 0
+	for _, v := range variants {
+		for _, p := range profiles {
+			r := hres[i]
+			i++
+			st := obsv.CellStatus{
+				Key:        r.Key,
+				Attempts:   r.Attempts,
+				Panicked:   r.Panicked,
+				Stalled:    r.Stalled,
+				ElapsedSec: r.Elapsed.Seconds(),
+			}
+			switch {
+			case r.Err != nil:
+				st.Status = obsv.CellFailed
+				st.Error = r.Err.Error()
+			default:
+				if r.Restored {
+					st.Status = obsv.CellRestored
+				} else {
+					st.Status = obsv.CellOK
+				}
+				res, ok := r.Value.(sim.Result)
+				if !ok {
+					st.Status = obsv.CellFailed
+					st.Error = fmt.Sprintf("exp: cell value is %T, want sim.Result", r.Value)
+					break
+				}
+				out[v.Name][p.Name] = res
+			}
+			statuses = append(statuses, st)
 		}
-		out[c.variant][c.workload] = c.res
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	return out, statuses, nil
+}
+
+// lookup fetches a completed cell from a matrix, failing with the
+// cell's recorded error when the campaign lost it. Targets that cannot
+// tolerate holes (ratio tables) gate through this.
+func lookup(res map[string]map[string]sim.Result, cells []obsv.CellStatus, variant, wl string) (sim.Result, error) {
+	if r, ok := res[variant][wl]; ok {
+		return r, nil
 	}
-	return out, nil
+	for _, c := range cells {
+		if c.Status == obsv.CellFailed && strings.HasSuffix(c.Key, "/"+variant+"/"+wl) {
+			return sim.Result{}, fmt.Errorf("exp: cell %s failed: %s", c.Key, c.Error)
+		}
+	}
+	return sim.Result{}, fmt.Errorf("exp: missing result for %s/%s", variant, wl)
 }
 
 // PerfReport holds normalized performance per workload and scheme,
@@ -178,44 +258,92 @@ type PerfReport struct {
 	Norm map[string]map[string]float64
 	// Results[scheme][workload] retains the full simulation results
 	// (including the baseline), so run reports can export the metric
-	// snapshots alongside the normalized performance.
+	// snapshots alongside the normalized performance. Failed cells are
+	// absent.
 	Results map[string]map[string]sim.Result
+	// Cells records every campaign cell's verdict, including failed
+	// and checkpoint-restored cells.
+	Cells []obsv.CellStatus
 }
 
-// perfReport runs baseline plus schemes and normalizes.
+// Sweep runs the non-secure baseline plus the given scheme variants
+// over the configured workloads and normalizes: the exported form of
+// the sweep underlying every perf figure, usable for custom campaigns
+// and for fault-injection tests (a variant whose Mutate or simulation
+// fails surfaces as a failed cell, never as a lost sweep).
+func Sweep(o Options, title string, schemes []Variant) (*PerfReport, error) {
+	return perfReport(o.withDefaults(), title, schemes)
+}
+
+// perfReport runs baseline plus schemes and normalizes. Cells that
+// failed — or produced a non-positive cycle count, which would poison
+// the geomeans — are excluded from Norm and flagged in Cells; the
+// report only fails when no baseline cell survived, since then there
+// is nothing to normalize against.
 func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error) {
 	profiles, err := o.profiles()
 	if err != nil {
 		return nil, err
 	}
 	variants := append([]Variant{{Name: "baseline", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackNone }}}, schemes...)
-	res, err := runMatrix(o, profiles, variants)
+	res, cells, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}
-	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}, Results: res}
+	// A run that completes with no cycles (e.g. an empty trace source)
+	// is not a usable sample: record it as a failed cell rather than
+	// letting 0 or Inf reach the normalization.
+	for _, v := range variants {
+		for _, p := range profiles {
+			if r, ok := res[v.Name][p.Name]; ok && r.Cycles <= 0 {
+				delete(res[v.Name], p.Name)
+				failCell(cells, o.target()+"/"+v.Name+"/"+p.Name,
+					fmt.Sprintf("exp: non-positive cycle count %d (empty run)", r.Cycles))
+			}
+		}
+	}
+	if len(res["baseline"]) == 0 {
+		return nil, fmt.Errorf("exp: %s: every baseline cell failed; nothing to normalize against", title)
+	}
+	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}, Results: res, Cells: cells}
 	for _, v := range schemes {
 		rep.Schemes = append(rep.Schemes, v.Name)
 		rep.Norm[v.Name] = map[string]float64{}
 		for _, p := range profiles {
-			base := res["baseline"][p.Name].Cycles
-			got := res[v.Name][p.Name].Cycles
-			if base == 0 || got == 0 {
-				return nil, fmt.Errorf("%s/%s: empty run", v.Name, p.Name)
+			base, okb := res["baseline"][p.Name]
+			got, okg := res[v.Name][p.Name]
+			if !okb || !okg {
+				continue
 			}
-			rep.Norm[v.Name][p.Name] = float64(base) / float64(got)
+			rep.Norm[v.Name][p.Name] = float64(base.Cycles) / float64(got.Cycles)
 		}
 	}
 	return rep, nil
 }
 
+// failCell flips the named cell's status to failed in place.
+func failCell(cells []obsv.CellStatus, key, msg string) {
+	for i := range cells {
+		if cells[i].Key == key {
+			cells[i].Status = obsv.CellFailed
+			cells[i].Error = msg
+			return
+		}
+	}
+}
+
 // SuiteGeomeans aggregates a scheme's normalized performance per
 // suite, plus GUPS alone and ALL, matching the paper's x-axis groups.
+// Workloads whose cells failed are skipped; a group with no surviving
+// workloads reports 0 (rendered as "-" by Format).
 func (r *PerfReport) SuiteGeomeans(scheme string) map[string]float64 {
 	bySuite := map[string][]float64{}
 	var all []float64
 	for _, p := range r.Profiles {
-		v := r.Norm[scheme][p.Name]
+		v, ok := r.Norm[scheme][p.Name]
+		if !ok {
+			continue
+		}
 		key := string(p.Suite)
 		bySuite[key] = append(bySuite[key], v)
 		all = append(all, v)
@@ -241,7 +369,11 @@ func (r *PerfReport) Format() string {
 	for _, p := range r.Profiles {
 		fmt.Fprintf(&b, "%-12s", p.Name)
 		for _, s := range r.Schemes {
-			fmt.Fprintf(&b, " %14.3f", r.Norm[s][p.Name])
+			if v, ok := r.Norm[s][p.Name]; ok {
+				fmt.Fprintf(&b, " %14.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
 		}
 		b.WriteString("\n")
 	}
@@ -249,9 +381,19 @@ func (r *PerfReport) Format() string {
 	for _, su := range suites {
 		fmt.Fprintf(&b, "%-12s", "GEO:"+su)
 		for _, s := range r.Schemes {
-			fmt.Fprintf(&b, " %14.3f", r.SuiteGeomeans(s)[su])
+			if v := r.SuiteGeomeans(s)[su]; v > 0 {
+				fmt.Fprintf(&b, " %14.3f", v)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
 		}
 		b.WriteString("\n")
+	}
+	if failed := FailedCells(r.Cells); len(failed) > 0 {
+		fmt.Fprintf(&b, "FAILED CELLS (%d):\n", len(failed))
+		for _, c := range failed {
+			fmt.Fprintf(&b, "  %s: %s\n", c.Key, c.Error)
+		}
 	}
 	return b.String()
 }
@@ -267,6 +409,17 @@ func (r *PerfReport) suiteOrder() []string {
 	}
 	order = append(order, "ALL")
 	return order
+}
+
+// FailedCells filters a campaign's cell verdicts down to the failures.
+func FailedCells(cells []obsv.CellStatus) []obsv.CellStatus {
+	var out []obsv.CellStatus
+	for _, c := range cells {
+		if c.Status == obsv.CellFailed {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // sortedKeys returns map keys in sorted order (stable output).

@@ -72,21 +72,35 @@ func ExtensionDDR5(o Options) (*DDR5Report, error) {
 		{Name: "ddr5-base", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackNone; c.Mem = dram.DDR5() }},
 		{Name: "ddr5-hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mem = dram.DDR5() }},
 	}
-	res, err := runMatrix(o, profiles, variants)
+	res, cells, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}
 	rep := &DDR5Report{}
 	for _, p := range profiles {
-		slow := func(base, tracked string) float64 {
-			b := res[base][p.Name].Cycles
-			t := res[tracked][p.Name].Cycles
-			return stats.SlowdownPct(float64(b) / float64(t))
+		slow := func(base, tracked string) (float64, error) {
+			b, err := lookup(res, cells, base, p.Name)
+			if err != nil {
+				return 0, err
+			}
+			t, err := lookup(res, cells, tracked, p.Name)
+			if err != nil {
+				return 0, err
+			}
+			return stats.SlowdownPct(float64(b.Cycles) / float64(t.Cycles)), nil
+		}
+		d4, err := slow("ddr4-base", "ddr4-hydra")
+		if err != nil {
+			return nil, err
+		}
+		d5, err := slow("ddr5-base", "ddr5-hydra")
+		if err != nil {
+			return nil, err
 		}
 		rep.Rows = append(rep.Rows, DDR5Row{
 			Workload:     p.Name,
-			DDR4Slowdown: slow("ddr4-base", "ddr4-hydra"),
-			DDR5Slowdown: slow("ddr5-base", "ddr5-hydra"),
+			DDR4Slowdown: d4,
+			DDR5Slowdown: d5,
 			SRAMBytes:    res["ddr4-hydra"][p.Name].SRAMBytes,
 		})
 	}
@@ -208,22 +222,34 @@ func ExtensionPolicies(o Options) (*PolicyReport, error) {
 		{Name: "rowswap", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mitigation = sim.MitigateRowSwap }},
 		{Name: "throttle", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mitigation = sim.MitigateThrottle }},
 	}
-	res, err := runMatrix(o, profiles, variants)
+	res, cells, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}
 	rep := &PolicyReport{}
 	for _, p := range profiles {
-		base := res["base"][p.Name].Cycles
-		slow := func(v string) float64 {
-			return stats.SlowdownPct(float64(base) / float64(res[v][p.Name].Cycles))
+		base, err := lookup(res, cells, "base", p.Name)
+		if err != nil {
+			return nil, err
 		}
-		rep.Rows = append(rep.Rows, PolicyRow{
-			Workload:    p.Name,
-			RefreshPct:  slow("refresh"),
-			RowSwapPct:  slow("rowswap"),
-			ThrottlePct: slow("throttle"),
-		})
+		slow := func(v string) (float64, error) {
+			r, err := lookup(res, cells, v, p.Name)
+			if err != nil {
+				return 0, err
+			}
+			return stats.SlowdownPct(float64(base.Cycles) / float64(r.Cycles)), nil
+		}
+		row := PolicyRow{Workload: p.Name}
+		if row.RefreshPct, err = slow("refresh"); err != nil {
+			return nil, err
+		}
+		if row.RowSwapPct, err = slow("rowswap"); err != nil {
+			return nil, err
+		}
+		if row.ThrottlePct, err = slow("throttle"); err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
 }

@@ -85,7 +85,7 @@ func Figure6(o Options) (*Figure6Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runMatrix(o, profiles, []Variant{
+	res, cells, err := runMatrix(o, profiles, []Variant{
 		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
 	})
 	if err != nil {
@@ -93,7 +93,10 @@ func Figure6(o Options) (*Figure6Report, error) {
 	}
 	rep := &Figure6Report{}
 	for _, p := range profiles {
-		r := res["hydra"][p.Name]
+		r, err := lookup(res, cells, "hydra", p.Name)
+		if err != nil {
+			return nil, err
+		}
 		if r.Hydra == nil || r.Hydra.Acts == 0 {
 			return nil, fmt.Errorf("%s: no hydra stats", p.Name)
 		}

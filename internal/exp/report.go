@@ -43,6 +43,7 @@ func BuildReport(target string, o Options, rep any, elapsed time.Duration) *obsv
 // runReport implements reportable for the perf-sweep shape.
 func (r *PerfReport) runReport(out *obsv.Report) {
 	out.Schemes = append([]string(nil), r.Schemes...)
+	out.Cells = append([]obsv.CellStatus(nil), r.Cells...)
 	out.Geomeans = map[string]map[string]float64{}
 	for _, s := range r.Schemes {
 		out.Geomeans[s] = r.SuiteGeomeans(s)
@@ -57,7 +58,10 @@ func (r *PerfReport) runReport(out *obsv.Report) {
 			Metrics:     map[string]obsv.Metrics{},
 		}
 		for _, s := range r.Schemes {
-			norm := r.Norm[s][p.Name]
+			norm, ok := r.Norm[s][p.Name]
+			if !ok {
+				continue // failed cell; its verdict is in out.Cells
+			}
 			w.NormPerf[s] = norm
 			w.SlowdownPct[s] = (1 - norm) * 100
 		}
@@ -66,6 +70,11 @@ func (r *PerfReport) runReport(out *obsv.Report) {
 				w.Metrics[scheme] = res.Metrics
 				agg.Merge(res.Metrics)
 			}
+		}
+		if len(w.NormPerf) == 0 {
+			// Every scheme lost this workload: there is no row to
+			// report; the failures are recorded in out.Cells.
+			continue
 		}
 		out.Workloads = append(out.Workloads, w)
 	}

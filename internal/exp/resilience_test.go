@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/obsv"
+	"repro/internal/sim"
+)
+
+// TestSweepIsolatesPanickingVariant is the acceptance drill for the
+// campaign harness: a variant whose Mutate panics must not take down
+// the sweep — every other cell completes, the failure is attributed to
+// its cell, and the JSON run report carries the verdict.
+func TestSweepIsolatesPanickingVariant(t *testing.T) {
+	o := Options{Scale: 64, Workloads: []string{"parest", "GUPS"}, Target: "resilience"}
+	schemes := []Variant{
+		{Name: "good", Mutate: func(c *sim.Config) {}},
+		{Name: "explosive", Mutate: func(c *sim.Config) { panic("injected fault: variant exploded") }},
+	}
+	rep, err := Sweep(o, "resilience drill", schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rep.Norm["good"]); n != 2 {
+		t.Fatalf("healthy variant completed %d/2 cells", n)
+	}
+	if n := len(rep.Norm["explosive"]); n != 0 {
+		t.Fatalf("panicking variant produced %d results", n)
+	}
+	failed := FailedCells(rep.Cells)
+	if len(failed) != 2 {
+		t.Fatalf("failed cells = %+v, want the 2 explosive ones", failed)
+	}
+	for _, c := range failed {
+		if !strings.HasPrefix(c.Key, "resilience/explosive/") {
+			t.Errorf("failure attributed to wrong cell %q", c.Key)
+		}
+		if !c.Panicked || !strings.Contains(c.Error, "injected fault: variant exploded") {
+			t.Errorf("cell %s: panicked=%v error=%q", c.Key, c.Panicked, c.Error)
+		}
+	}
+	if out := rep.Format(); !strings.Contains(out, "FAILED CELLS (2)") {
+		t.Errorf("Format does not flag the failed cells:\n%s", out)
+	}
+
+	// The machine-readable run report must record the same verdicts and
+	// still validate against the hydra-run-report/v1 schema.
+	report := BuildReport("resilience", o, rep, time.Second)
+	if err := report.Validate(); err != nil {
+		t.Fatalf("run report invalid: %v", err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := string(data)
+	if !strings.Contains(js, `"status":"failed"`) || !strings.Contains(js, "injected fault: variant exploded") {
+		t.Errorf("JSON run report missing the failed-cell verdict:\n%s", js)
+	}
+}
+
+// TestSweepCheckpointResume drives the -resume path end to end: a
+// first pass with a broken variant checkpoints its healthy cells; a
+// second pass against the same file reruns only what is missing.
+func TestSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	o := Options{Scale: 64, Workloads: []string{"parest", "GUPS"}, Target: "resume"}
+
+	cp, err := harness.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Checkpoint = cp
+	rep1, err := Sweep(o, "pass 1", []Variant{
+		{Name: "flaky", Mutate: func(c *sim.Config) { panic("breaks on the first pass") }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(FailedCells(rep1.Cells)); n != 2 {
+		t.Fatalf("pass 1 failed cells = %d, want 2", n)
+	}
+	if cp.Len() != 2 { // the two baseline cells
+		t.Fatalf("checkpoint holds %d cells after pass 1, want 2 (keys %v)", cp.Len(), cp.Keys())
+	}
+
+	// Second pass: same campaign keys, variant fixed. Only the two
+	// previously failed cells may execute.
+	cp2, err := harness.OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Checkpoint = cp2
+	var reran atomic.Int64
+	rep2, err := Sweep(o, "pass 2", []Variant{
+		{Name: "flaky", Mutate: func(c *sim.Config) { reran.Add(1) }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reran.Load(); n != 2 {
+		t.Fatalf("resume reran %d cells, want only the 2 missing ones", n)
+	}
+	var restored int
+	for _, c := range rep2.Cells {
+		if c.Status == obsv.CellRestored {
+			restored++
+		}
+	}
+	if restored != 2 { // the baseline cells came from the checkpoint
+		t.Fatalf("restored cells = %d, want 2 (cells %+v)", restored, rep2.Cells)
+	}
+	if n := len(rep2.Norm["flaky"]); n != 2 {
+		t.Fatalf("pass 2 completed %d/2 flaky cells", n)
+	}
+	if cp2.Len() != 4 {
+		t.Fatalf("checkpoint holds %d cells after pass 2, want all 4", cp2.Len())
+	}
+}

@@ -152,7 +152,7 @@ func Power(o Options) (*PowerReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := runMatrix(o, profiles, []Variant{
+	res, cells, err := runMatrix(o, profiles, []Variant{
 		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
 	})
 	if err != nil {
@@ -163,7 +163,10 @@ func Power(o Options) (*PowerReport, error) {
 	model := power.DefaultDRAM()
 	mem := dram.Baseline()
 	for _, p := range profiles {
-		r := res["hydra"][p.Name]
+		r, err := lookup(res, cells, "hydra", p.Name)
+		if err != nil {
+			return nil, err
+		}
 		bd := power.DRAMEnergy(model, r.Mem, r.Cycles, mem.Channels)
 		pct := bd.TrackerOverheadPct()
 		rep.PerWorkloadPct[p.Name] = pct

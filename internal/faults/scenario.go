@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scenario is one named chaos campaign: a set of fault injections the
+// full-system simulator applies while an attack and the security
+// oracle run. Scenarios perturb exactly the mechanisms the paper's
+// guarantee depends on:
+//
+//   - RCT metadata-row corruption (Section 5.2's attack surface):
+//     DRAM-resident per-row counters silently decay toward zero, the
+//     adversarial direction — an undercount can hide a hot row;
+//   - dropped victim refreshes: the tracker's mitigation decision is
+//     issued but the refresh commands are lost between the controller
+//     and the DRAM, so victims keep accumulating charge loss;
+//   - postponed auto-refresh: the periodic window refresh (and the
+//     tracker reset that rides on it) arrives late, stretching the
+//     interval an attacker has to work with.
+//
+// The harness runs each scenario as a campaign cell and records, per
+// scenario, whether Hydra's guarantee held or the degradation was
+// detected by the oracle/damage model (see internal/exp Chaos).
+type Scenario struct {
+	// Name identifies the scenario in reports and on the command line.
+	Name string
+	// Description is a one-line summary for reports.
+	Description string
+
+	// DropRefreshProb drops each victim-refresh burst (the whole blast
+	// radius of one mitigation) with this probability, 0..1.
+	DropRefreshProb float64
+
+	// PostponeWindows stretches every tracking window by this fraction
+	// of its nominal length (1.0 doubles the window).
+	PostponeWindows float64
+
+	// CorruptRCTFrac zeroes each nonzero DRAM-resident RCT counter
+	// with this probability at every corruption event. Applies to the
+	// Hydra tracker only; other trackers have no RCT.
+	CorruptRCTFrac float64
+	// CorruptEveryActs spaces corruption events: one sweep per this
+	// many controller activations (0 disables corruption even when
+	// CorruptRCTFrac is set).
+	CorruptEveryActs int64
+}
+
+// Active reports whether the scenario injects any fault at all.
+func (s Scenario) Active() bool {
+	return s.DropRefreshProb > 0 || s.PostponeWindows > 0 ||
+		(s.CorruptRCTFrac > 0 && s.CorruptEveryActs > 0)
+}
+
+// Validate checks the scenario's parameters.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("faults: scenario needs a name")
+	}
+	if s.DropRefreshProb < 0 || s.DropRefreshProb > 1 {
+		return fmt.Errorf("faults: %s: DropRefreshProb %g outside [0,1]", s.Name, s.DropRefreshProb)
+	}
+	if s.CorruptRCTFrac < 0 || s.CorruptRCTFrac > 1 {
+		return fmt.Errorf("faults: %s: CorruptRCTFrac %g outside [0,1]", s.Name, s.CorruptRCTFrac)
+	}
+	if s.PostponeWindows < 0 || s.PostponeWindows > 16 {
+		return fmt.Errorf("faults: %s: PostponeWindows %g outside [0,16]", s.Name, s.PostponeWindows)
+	}
+	if s.CorruptEveryActs < 0 {
+		return fmt.Errorf("faults: %s: CorruptEveryActs %d negative", s.Name, s.CorruptEveryActs)
+	}
+	return nil
+}
+
+// Scenarios returns the named chaos campaigns, control first.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "none",
+			Description: "control: no fault injection; the guarantee must hold",
+		},
+		{
+			Name:            "refresh-drop",
+			Description:     "every victim-refresh burst is lost between controller and DRAM",
+			DropRefreshProb: 1.0,
+		},
+		{
+			Name:             "rct-corruption",
+			Description:      "DRAM-resident RCT counters decay to zero mid-window",
+			CorruptRCTFrac:   0.5,
+			CorruptEveryActs: 10_000,
+		},
+		{
+			Name:            "refresh-postpone",
+			Description:     "auto-refresh (and the tracker reset) arrives one window late",
+			PostponeWindows: 1.0,
+		},
+	}
+}
+
+// ScenarioNames lists the built-in scenario names in order.
+func ScenarioNames() []string {
+	var names []string
+	for _, s := range Scenarios() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// ScenarioByName resolves a built-in scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	known := ScenarioNames()
+	sort.Strings(known)
+	return Scenario{}, fmt.Errorf("faults: unknown scenario %q (have %s)", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CheckpointSchema identifies the checkpoint file format.
+const CheckpointSchema = "hydra-checkpoint/v1"
+
+// checkpointFile is the on-disk layout: a schema tag and the completed
+// cells, keyed by Cell.Key, each value the cell's JSON-encoded result.
+type checkpointFile struct {
+	Schema string                     `json:"schema"`
+	Cells  map[string]json.RawMessage `json:"cells"`
+}
+
+// Checkpoint persists completed cells so an interrupted campaign can
+// resume. Values are stored as raw JSON; set Decode so Restore can
+// rebuild the caller's concrete type (results cross the harness as
+// `any`). Safe for concurrent use by campaign workers. Every Store
+// rewrites the file via an atomic rename, so a crash mid-campaign
+// leaves the previous consistent snapshot.
+type Checkpoint struct {
+	// Decode rebuilds a cell value from its stored JSON. When nil,
+	// Restore reports a miss for every key (the campaign recomputes).
+	Decode func(key string, raw json.RawMessage) (any, error)
+
+	mu    sync.Mutex
+	path  string
+	cells map[string]json.RawMessage
+}
+
+// OpenCheckpoint loads the checkpoint at path, creating an empty one
+// (in memory only; the file appears on first Store) if none exists.
+func OpenCheckpoint(path string) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, cells: make(map[string]json.RawMessage)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("harness: parsing checkpoint %s: %w", path, err)
+	}
+	if f.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("harness: checkpoint %s has schema %q, want %q", path, f.Schema, CheckpointSchema)
+	}
+	if f.Cells != nil {
+		c.cells = f.Cells
+	}
+	return c, nil
+}
+
+// Len reports the number of completed cells currently stored.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Keys lists the stored cell keys, sorted.
+func (c *Checkpoint) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.cells))
+	for k := range c.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Restore looks up a completed cell. It returns (value, true, nil) on
+// a decodable hit, (nil, false, nil) on a miss or when Decode is nil,
+// and a non-nil error when the stored entry cannot be decoded.
+func (c *Checkpoint) Restore(key string) (any, bool, error) {
+	if c.Decode == nil {
+		return nil, false, nil
+	}
+	c.mu.Lock()
+	raw, ok := c.cells[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := c.Decode(key, raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("harness: checkpoint entry %q: %w", key, err)
+	}
+	return v, true, nil
+}
+
+// Store records a completed cell and rewrites the checkpoint file
+// atomically (write to a temp file in the same directory, then rename).
+func (c *Checkpoint) Store(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: encoding cell %q: %w", key, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[key] = raw
+	data, err := json.MarshalIndent(checkpointFile{Schema: CheckpointSchema, Cells: c.cells}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: writing checkpoint: %w", err)
+	}
+	return nil
+}

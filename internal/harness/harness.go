@@ -1,0 +1,335 @@
+// Package harness is the resilient campaign runner: it executes sweep
+// cells (one simulator configuration each) through a bounded worker
+// pool and keeps the campaign alive when individual cells misbehave.
+//
+// Four failure modes are contained per cell, so a sweep of N cells
+// always yields N verdicts:
+//
+//   - panics are recovered and converted to a *PanicError carrying the
+//     panicking value and stack; the other cells keep running;
+//   - a progress watchdog cancels cells whose simulated-cycle counter
+//     stops advancing for longer than a stall deadline, and a wall-clock
+//     timeout bounds each cell outright;
+//   - failed cells are retried with capped backoff; the attempt number
+//     is passed back in so the caller can reseed, separating
+//     seed-dependent corner cases from deterministic bugs;
+//   - completed cells are written to an optional JSON checkpoint
+//     (see Checkpoint), so an interrupted campaign resumes by
+//     recomputing only the missing cells.
+//
+// Cells cooperate through two channels: they honor ctx cancellation
+// (the simulator polls it between events) and report simulated cycles
+// via Env.Progress so the watchdog can tell "slow" from "stuck".
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStalled is the cancellation cause installed by the watchdog when
+// a cell's progress counter stops advancing. Test with errors.Is on
+// the cell error.
+var ErrStalled = errors.New("harness: progress stalled")
+
+// PanicError is a recovered cell panic, preserved with its stack.
+type PanicError struct {
+	Value any    // the value passed to panic
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("harness: cell panicked: %v", e.Value)
+}
+
+// Env is the per-attempt environment the harness hands to a cell.
+type Env struct {
+	// Attempt is the 0-based attempt number. Retried cells should fold
+	// it into their RNG seed so a seed-dependent failure is not simply
+	// replayed.
+	Attempt int
+	// Progress reports the cell's simulated-cycle counter. The watchdog
+	// declares a stall when the reported value stops increasing — calls
+	// repeating the same value do not keep a cell alive. Safe to call
+	// from the cell's goroutine only; never nil.
+	Progress func(cycle int64)
+}
+
+// Cell is one unit of campaign work.
+type Cell struct {
+	// Key identifies the cell in checkpoints and results; campaign keys
+	// must be unique. The experiment layer uses "target/variant/workload".
+	Key string
+	// Run computes the cell. It must honor ctx cancellation and should
+	// report progress via env.Progress. The returned value must be
+	// JSON-marshalable when checkpointing is enabled.
+	Run func(ctx context.Context, env Env) (any, error)
+}
+
+// CellResult is the verdict for one cell.
+type CellResult struct {
+	Key      string
+	Value    any   // nil when Err != nil
+	Err      error // nil on success
+	Attempts int   // attempts actually made (0 when restored)
+	Panicked bool  // at least one attempt panicked
+	Stalled  bool  // at least one attempt was killed by the watchdog
+	Restored bool  // value came from the checkpoint; Run never called
+	Elapsed  time.Duration
+}
+
+// Options tunes a campaign.
+type Options struct {
+	// Workers bounds pool concurrency (default GOMAXPROCS, at most the
+	// number of cells).
+	Workers int
+	// CellTimeout is the wall-clock budget per attempt (0 = unbounded).
+	CellTimeout time.Duration
+	// StallTimeout kills an attempt whose progress counter has not
+	// advanced for this long (0 disables the watchdog).
+	StallTimeout time.Duration
+	// Retries is the number of extra attempts after a failure.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt
+	// and capped at 16x (default 100ms when Retries > 0).
+	Backoff time.Duration
+	// Checkpoint, when non-nil, restores completed cells before running
+	// and stores each newly completed cell.
+	Checkpoint *Checkpoint
+	// OnCellDone, when non-nil, observes each settled cell (restored,
+	// succeeded, or exhausted). Called from worker goroutines; must be
+	// safe for concurrent use.
+	OnCellDone func(CellResult)
+}
+
+func (o Options) workers(cells int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) backoff(attempt int) time.Duration {
+	b := o.Backoff
+	if b <= 0 {
+		b = 100 * time.Millisecond
+	}
+	for i := 1; i < attempt && i < 5; i++ {
+		b *= 2
+	}
+	return b
+}
+
+// RunCampaign executes the cells and returns one result per cell, in
+// input order. Individual cell failures are reported in their
+// CellResult, never as the campaign error; the error return is
+// reserved for malformed campaigns (duplicate or empty keys) and for
+// campaign-level cancellation, in which case the partial results are
+// still returned (unreached cells carry the cancellation error).
+func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seen := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		if c.Key == "" {
+			return nil, fmt.Errorf("harness: cell with empty key")
+		}
+		if c.Run == nil {
+			return nil, fmt.Errorf("harness: cell %q has no Run", c.Key)
+		}
+		if seen[c.Key] {
+			return nil, fmt.Errorf("harness: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+
+	results := make([]CellResult, len(cells))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(len(cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = runCell(ctx, cells[i], opts)
+				if opts.OnCellDone != nil {
+					opts.OnCellDone(results[i])
+				}
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		cause := context.Cause(ctx)
+		for i := range results {
+			if results[i].Key == "" {
+				results[i] = CellResult{Key: cells[i].Key, Err: fmt.Errorf("harness: campaign aborted: %w", cause)}
+			}
+		}
+		return results, fmt.Errorf("harness: campaign aborted: %w", cause)
+	}
+	return results, nil
+}
+
+// runCell settles one cell: checkpoint restore, then up to 1+Retries
+// attempts with backoff.
+func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
+	start := time.Now()
+	res := CellResult{Key: cell.Key}
+	if opts.Checkpoint != nil {
+		if v, ok, err := opts.Checkpoint.Restore(cell.Key); err != nil {
+			// A corrupt entry is not fatal: fall through and recompute.
+			res.Err = err
+		} else if ok {
+			res.Value = v
+			res.Restored = true
+			res.Elapsed = time.Since(start)
+			return res
+		}
+	}
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(opts.backoff(attempt))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				res.Err = fmt.Errorf("harness: campaign aborted: %w", context.Cause(ctx))
+				res.Elapsed = time.Since(start)
+				return res
+			}
+		}
+		v, err := runAttempt(ctx, cell, attempt, opts)
+		res.Attempts = attempt + 1
+		if err == nil {
+			res.Value = v
+			res.Err = nil
+			if opts.Checkpoint != nil {
+				if cerr := opts.Checkpoint.Store(cell.Key, v); cerr != nil {
+					res.Err = fmt.Errorf("harness: cell %q succeeded but checkpoint failed: %w", cell.Key, cerr)
+					res.Value = nil
+				}
+			}
+			break
+		}
+		res.Err = err
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			res.Panicked = true
+		}
+		if errors.Is(err, ErrStalled) {
+			res.Stalled = true
+		}
+		if ctx.Err() != nil {
+			break // campaign-level cancel: do not burn retries
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// runAttempt executes one attempt with panic recovery, wall-clock
+// timeout, and the stall watchdog.
+func runAttempt(ctx context.Context, cell Cell, attempt int, opts Options) (v any, err error) {
+	if opts.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, opts.CellTimeout,
+			fmt.Errorf("harness: cell %q exceeded timeout %v", cell.Key, opts.CellTimeout))
+		defer cancel()
+	}
+	progress := func(int64) {}
+	if opts.StallTimeout > 0 {
+		var cancel context.CancelCauseFunc
+		ctx, cancel = context.WithCancelCause(ctx)
+		wd := newWatchdog(opts.StallTimeout, cell.Key, cancel)
+		defer wd.stop()
+		progress = wd.report
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			v = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return cell.Run(ctx, Env{Attempt: attempt, Progress: progress})
+}
+
+// watchdog cancels an attempt when the reported progress value stops
+// increasing for longer than the stall deadline.
+type watchdog struct {
+	latest atomic.Int64
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newWatchdog(stall time.Duration, key string, cancel context.CancelCauseFunc) *watchdog {
+	w := &watchdog{done: make(chan struct{})}
+	w.latest.Store(-1)
+	interval := stall / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := w.latest.Load()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-t.C:
+				if cur := w.latest.Load(); cur > last {
+					last = cur
+					lastChange = time.Now()
+				} else if time.Since(lastChange) > stall {
+					cancel(fmt.Errorf("harness: cell %q made no progress for %v (cycle %d): %w",
+						key, stall, last, ErrStalled))
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *watchdog) report(cycle int64) {
+	// Monotonic max: out-of-order reports never look like progress.
+	for {
+		cur := w.latest.Load()
+		if cycle <= cur || w.latest.CompareAndSwap(cur, cycle) {
+			return
+		}
+	}
+}
+
+func (w *watchdog) stop() {
+	close(w.done)
+	w.wg.Wait()
+}

@@ -1,0 +1,323 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func keys(n int) []string {
+	var ks []string
+	for i := 0; i < n; i++ {
+		ks = append(ks, fmt.Sprintf("exp/variant%d/wl", i))
+	}
+	return ks
+}
+
+func TestPanicIsolation(t *testing.T) {
+	var cells []Cell
+	for i, k := range keys(6) {
+		i, k := i, k
+		cells = append(cells, Cell{Key: k, Run: func(ctx context.Context, env Env) (any, error) {
+			if i == 3 {
+				panic("injected fault in variant 3")
+			}
+			return i * 10, nil
+		}})
+	}
+	results, err := RunCampaign(context.Background(), cells, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	for i, r := range results {
+		if i == 3 {
+			if r.Err == nil || !r.Panicked {
+				t.Fatalf("cell 3: want recovered panic, got %+v", r)
+			}
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("cell 3 error is not a *PanicError: %v", r.Err)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatal("panic error lost its stack")
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("cell %d failed alongside the panicking cell: %v", i, r.Err)
+		}
+		if r.Value != i*10 {
+			t.Fatalf("cell %d value = %v, want %d", i, r.Value, i*10)
+		}
+	}
+}
+
+func TestWatchdogKillsStalledCell(t *testing.T) {
+	cells := []Cell{
+		{Key: "ok", Run: func(ctx context.Context, env Env) (any, error) {
+			for c := int64(0); c < 50; c++ {
+				env.Progress(c)
+				time.Sleep(time.Millisecond)
+			}
+			return "done", nil
+		}},
+		{Key: "stuck", Run: func(ctx context.Context, env Env) (any, error) {
+			// Simulated cycles stop advancing: repeated reports of the
+			// same value must not keep the cell alive.
+			for {
+				env.Progress(7)
+				select {
+				case <-ctx.Done():
+					return nil, context.Cause(ctx)
+				case <-time.After(time.Millisecond):
+				}
+			}
+		}},
+	}
+	results, err := RunCampaign(context.Background(), cells, Options{StallTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if results[0].Err != nil || results[0].Value != "done" {
+		t.Fatalf("healthy cell disturbed: %+v", results[0])
+	}
+	if !errors.Is(results[1].Err, ErrStalled) || !results[1].Stalled {
+		t.Fatalf("stuck cell: want ErrStalled, got %+v", results[1])
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	cells := []Cell{{Key: "slow", Run: func(ctx context.Context, env Env) (any, error) {
+		for c := int64(0); ; c++ {
+			env.Progress(c) // advancing, so only the wall clock can stop it
+			select {
+			case <-ctx.Done():
+				return nil, context.Cause(ctx)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}}}
+	results, err := RunCampaign(context.Background(), cells,
+		Options{CellTimeout: 30 * time.Millisecond, StallTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("timeout did not kill the cell")
+	}
+}
+
+func TestRetryWithReseed(t *testing.T) {
+	var attempts atomic.Int64
+	cells := []Cell{{Key: "flaky", Run: func(ctx context.Context, env Env) (any, error) {
+		attempts.Add(1)
+		if env.Attempt < 2 {
+			return nil, fmt.Errorf("seed-dependent failure at attempt %d", env.Attempt)
+		}
+		return env.Attempt, nil
+	}}}
+	results, err := RunCampaign(context.Background(), cells,
+		Options{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	r := results[0]
+	if r.Err != nil {
+		t.Fatalf("retries did not rescue the cell: %v", r.Err)
+	}
+	if r.Value != 2 || r.Attempts != 3 || attempts.Load() != 3 {
+		t.Fatalf("want success on attempt index 2 after 3 attempts, got %+v (ran %d)", r, attempts.Load())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	cells := []Cell{{Key: "doomed", Run: func(ctx context.Context, env Env) (any, error) {
+		return nil, errors.New("deterministic failure")
+	}}}
+	results, err := RunCampaign(context.Background(), cells,
+		Options{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("campaign error: %v", err)
+	}
+	if results[0].Err == nil || results[0].Attempts != 3 {
+		t.Fatalf("want 3 failed attempts, got %+v", results[0])
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	run := func(ctx context.Context, env Env) (any, error) { return nil, nil }
+	if _, err := RunCampaign(context.Background(),
+		[]Cell{{Key: "a", Run: run}, {Key: "a", Run: run}}, Options{}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	if _, err := RunCampaign(context.Background(), []Cell{{Key: "", Run: run}}, Options{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if _, err := RunCampaign(context.Background(), []Cell{{Key: "a"}}, Options{}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var cells []Cell
+	cells = append(cells, Cell{Key: "running", Run: func(ctx context.Context, env Env) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}})
+	for _, k := range keys(4) {
+		cells = append(cells, Cell{Key: k, Run: func(ctx context.Context, env Env) (any, error) {
+			return nil, nil
+		}})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results, err := RunCampaign(ctx, cells, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("want %d results even on abort, got %d", len(cells), len(results))
+	}
+	for _, r := range results {
+		if r.Key == "" {
+			t.Fatal("abandoned cell left without a key/verdict")
+		}
+	}
+}
+
+type cellValue struct {
+	IPC  float64 `json:"ipc"`
+	Note string  `json:"note"`
+}
+
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	decode := func(key string, raw json.RawMessage) (any, error) {
+		var v cellValue
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	mkCells := func(ran *atomic.Int64, failKey string) []Cell {
+		var cells []Cell
+		for _, k := range keys(4) {
+			k := k
+			cells = append(cells, Cell{Key: k, Run: func(ctx context.Context, env Env) (any, error) {
+				ran.Add(1)
+				if k == failKey {
+					return nil, errors.New("injected failure")
+				}
+				return cellValue{IPC: 1.5, Note: k}, nil
+			}})
+		}
+		return cells
+	}
+
+	// First pass: one cell fails, three are checkpointed.
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Decode = decode
+	var ran1 atomic.Int64
+	results, err := RunCampaign(context.Background(), mkCells(&ran1, "exp/variant1/wl"),
+		Options{Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran1.Load() != 4 || cp.Len() != 3 {
+		t.Fatalf("first pass: ran %d cells, checkpointed %d; want 4 and 3", ran1.Load(), cp.Len())
+	}
+	if results[1].Err == nil {
+		t.Fatal("failed cell stored as success")
+	}
+
+	// Second pass from a fresh process: only the failed cell reruns.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2.Decode = decode
+	var ran2 atomic.Int64
+	results, err = RunCampaign(context.Background(), mkCells(&ran2, ""),
+		Options{Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran2.Load() != 1 {
+		t.Fatalf("resume recomputed %d cells, want 1", ran2.Load())
+	}
+	for i, r := range results {
+		v, ok := r.Value.(cellValue)
+		if !ok || v.IPC != 1.5 {
+			t.Fatalf("cell %d: bad restored value %+v", i, r.Value)
+		}
+		if wantRestored := i != 1; r.Restored != wantRestored {
+			t.Fatalf("cell %d: Restored = %v, want %v", i, r.Restored, wantRestored)
+		}
+	}
+	if cp2.Len() != 4 {
+		t.Fatalf("after resume checkpoint holds %d cells, want 4", cp2.Len())
+	}
+}
+
+func TestCheckpointRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := writeFile(path, `{"schema":"hydra-checkpoint/v999","cells":{}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if err := writeFile(path, `{not json`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointCorruptEntryRecomputes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	if err := writeFile(path, `{"schema":"hydra-checkpoint/v1","cells":{"k":"not-an-object"}}`); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Decode = func(key string, raw json.RawMessage) (any, error) {
+		var v cellValue
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	ran := false
+	results, err := RunCampaign(context.Background(), []Cell{{
+		Key: "k",
+		Run: func(ctx context.Context, env Env) (any, error) { ran = true; return cellValue{IPC: 2}, nil },
+	}}, Options{Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran || results[0].Err != nil || results[0].Restored {
+		t.Fatalf("corrupt entry should force a recompute: ran=%v %+v", ran, results[0])
+	}
+}

@@ -38,17 +38,30 @@ type Cache struct {
 	Writebacks int64
 }
 
-// New creates a cache. It panics on invalid geometry, which is a
-// configuration error.
-func New(cfg Config) *Cache {
+// New creates a cache. Invalid geometry is a configuration error
+// reported to the caller.
+func New(cfg Config) (*Cache, error) {
 	if cfg.LineBytes <= 0 || cfg.Bytes <= 0 || cfg.Ways <= 0 {
-		panic(fmt.Sprintf("llc: bad config %+v", cfg))
+		return nil, fmt.Errorf("llc: bad config %+v", cfg)
 	}
 	lines := cfg.Bytes / cfg.LineBytes
 	if lines <= 0 || lines%cfg.Ways != 0 {
-		panic(fmt.Sprintf("llc: %d lines not a multiple of %d ways", lines, cfg.Ways))
+		return nil, fmt.Errorf("llc: %d lines not a multiple of %d ways", lines, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, tags: cache.New(lines, cfg.Ways, cache.LRU)}
+	tags, err := cache.New(lines, cfg.Ways, cache.LRU)
+	if err != nil {
+		return nil, fmt.Errorf("llc: %w", err)
+	}
+	return &Cache{cfg: cfg, tags: tags}, nil
+}
+
+// MustNew is New for statically valid configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // Access performs one read or write of a line. On a miss the line is

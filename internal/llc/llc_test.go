@@ -7,11 +7,11 @@ import (
 )
 
 func small() *Cache {
-	return New(Config{Bytes: 64 * 64, Ways: 4, LineBytes: 64}) // 64 lines
+	return MustNew(Config{Bytes: 64 * 64, Ways: 4, LineBytes: 64}) // 64 lines
 }
 
 func TestDefaultGeometry(t *testing.T) {
-	c := New(Default())
+	c := MustNew(Default())
 	if c.cfg.Bytes != 8<<20 || c.cfg.Ways != 16 {
 		t.Fatalf("config %+v", c.cfg)
 	}
@@ -31,7 +31,7 @@ func TestHitAfterMiss(t *testing.T) {
 }
 
 func TestDirtyEvictionWritesBack(t *testing.T) {
-	c := New(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64}) // one set
+	c := MustNew(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64}) // one set
 	c.Access(0, true)                                       // dirty
 	var sawWB bool
 	for i := uint64(1); i <= 8; i++ {
@@ -48,7 +48,7 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 }
 
 func TestWriteHitDirtiesLine(t *testing.T) {
-	c := New(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64})
+	c := MustNew(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64})
 	c.Access(0, false) // clean fill
 	c.Access(0, true)  // write hit dirties
 	wbs := int64(0)
@@ -69,18 +69,18 @@ func TestMissRate(t *testing.T) {
 	if r := c.MissRate(); r != 0.1 {
 		t.Fatalf("miss rate = %v, want 0.1", r)
 	}
-	if New(Default()).MissRate() != 0 {
+	if MustNew(Default()).MissRate() != 0 {
 		t.Fatal("empty cache miss rate not 0")
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad config should panic")
-		}
-	}()
-	New(Config{Bytes: 100, Ways: 3, LineBytes: 64})
+func TestBadConfigErrors(t *testing.T) {
+	if _, err := New(Config{Bytes: 100, Ways: 3, LineBytes: 64}); err == nil {
+		t.Fatal("bad config should error")
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config should error")
+	}
 }
 
 // sliceSource replays raw requests.
@@ -132,7 +132,7 @@ func TestFilterAbsorbsHits(t *testing.T) {
 func TestFilterEmitsWritebacks(t *testing.T) {
 	// One-set cache: write-allocate 5 lines; evictions of dirty lines
 	// must appear as write requests right after the triggering miss.
-	c := New(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64})
+	c := MustNew(Config{Bytes: 4 * 64, Ways: 4, LineBytes: 64})
 	var reqs []workload.Request
 	for i := uint64(0); i < 8; i++ {
 		reqs = append(reqs, workload.Request{Gap: 0, Write: true, Line: i})

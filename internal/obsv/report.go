@@ -36,6 +36,11 @@ type Report struct {
 	// Workloads holds the per-workload results (for perf targets).
 	Workloads []WorkloadReport `json:"workloads,omitempty"`
 
+	// Cells records the fate of every sweep cell the campaign harness
+	// ran for this target, including failed and checkpoint-restored
+	// cells (which have no workload row).
+	Cells []CellStatus `json:"cells,omitempty"`
+
 	// Geomeans maps scheme -> suite -> geometric-mean normalized
 	// performance, including the "ALL" aggregate (the paper's bar
 	// groups).
@@ -48,6 +53,53 @@ type Report struct {
 	// Extra carries targets whose natural shape is not a perf sweep
 	// (storage tables, attack oracles), marshaled as-is.
 	Extra any `json:"extra,omitempty"`
+}
+
+// Cell statuses recorded in CellStatus.Status.
+const (
+	CellOK       = "ok"       // computed this run
+	CellFailed   = "failed"   // all attempts failed; Error holds the last one
+	CellRestored = "restored" // value came from a resume checkpoint
+)
+
+// CellStatus is the per-cell verdict of a harness campaign: one entry
+// per (variant, workload) simulation, whether it succeeded, was
+// restored from a checkpoint, or failed after retries.
+type CellStatus struct {
+	// Key identifies the cell, "target/variant/workload".
+	Key string `json:"key"`
+	// Status is one of CellOK, CellFailed, CellRestored.
+	Status string `json:"status"`
+	// Error is the last attempt's error for failed cells.
+	Error string `json:"error,omitempty"`
+	// Attempts counts attempts actually made (0 when restored).
+	Attempts int `json:"attempts,omitempty"`
+	// Panicked / Stalled flag cells that died by panic or were killed
+	// by the progress watchdog on at least one attempt.
+	Panicked bool `json:"panicked,omitempty"`
+	Stalled  bool `json:"stalled,omitempty"`
+	// ElapsedSec is the cell's wall-clock time including retries.
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+}
+
+// Validate checks the cell's invariants.
+func (c CellStatus) Validate() error {
+	if c.Key == "" {
+		return fmt.Errorf("obsv: cell status missing key")
+	}
+	switch c.Status {
+	case CellOK, CellRestored:
+		if c.Error != "" {
+			return fmt.Errorf("obsv: cell %s: status %q with error %q", c.Key, c.Status, c.Error)
+		}
+	case CellFailed:
+		if c.Error == "" {
+			return fmt.Errorf("obsv: cell %s: failed without an error", c.Key)
+		}
+	default:
+		return fmt.Errorf("obsv: cell %s: unknown status %q", c.Key, c.Status)
+	}
+	return nil
 }
 
 // WorkloadReport is one workload's row of a perf target.
@@ -102,6 +154,11 @@ func (r *Report) Validate() error {
 			}
 		}
 	}
+	for _, c := range r.Cells {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -128,7 +185,10 @@ func (f *ReportFile) Validate() error {
 	if len(f.Reports) == 0 {
 		return fmt.Errorf("obsv: report file has no reports")
 	}
-	for _, r := range f.Reports {
+	for i, r := range f.Reports {
+		if r == nil { // a JSON null decodes to a nil *Report
+			return fmt.Errorf("obsv: report file entry %d is null", i)
+		}
 		if err := r.Validate(); err != nil {
 			return err
 		}
@@ -159,6 +219,20 @@ func (f *ReportFile) WriteFile(path string) error {
 	return out.Close()
 }
 
+// DecodeReportFile parses and validates a report file from bytes. It
+// must never panic on any input: it is the boundary downstream tooling
+// feeds untrusted files through (fuzzed in report_fuzz_test.go).
+func DecodeReportFile(data []byte) (*ReportFile, error) {
+	var f ReportFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("obsv: decoding report file: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
 // ReadReportFile parses and validates a report file from disk, the
 // round-trip used by regression tooling.
 func ReadReportFile(path string) (*ReportFile, error) {
@@ -166,12 +240,9 @@ func ReadReportFile(path string) (*ReportFile, error) {
 	if err != nil {
 		return nil, err
 	}
-	var f ReportFile
-	if err := json.Unmarshal(data, &f); err != nil {
+	f, err := DecodeReportFile(data)
+	if err != nil {
 		return nil, fmt.Errorf("obsv: %s: %w", path, err)
 	}
-	if err := f.Validate(); err != nil {
-		return nil, fmt.Errorf("obsv: %s: %w", path, err)
-	}
-	return &f, nil
+	return f, nil
 }

@@ -1,0 +1,58 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeReportFile pins the report-file decoder's contract at the
+// trust boundary: arbitrary bytes must produce either a validated
+// *ReportFile or an error — never a panic, and never a file that fails
+// its own Validate.
+func FuzzDecodeReportFile(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[null]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v999","reports":[{}]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[{"schema":"hydra-run-report/v1",` +
+		`"tool":"t","target":"x","created_at":"2026-01-02T03:04:05Z","go_version":"go1.22",` +
+		`"workloads":[{"name":"w","norm_perf":{"hydra":0.99}}],` +
+		`"cells":[{"key":"x/hydra/w","status":"ok"}]}]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[{"schema":"hydra-run-report/v1",` +
+		`"tool":"t","target":"x","created_at":"2026-01-02T03:04:05Z","go_version":"go1.22",` +
+		`"cells":[{"key":"x/hydra/w","status":"failed","error":"boom","attempts":3,"panicked":true}]}]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[{"schema":"hydra-run-report/v1",` +
+		`"tool":"t","target":"x","created_at":"2026-01-02T03:04:05Z","go_version":"go1.22",` +
+		`"workloads":[{"name":"w","norm_perf":{"hydra":-1}}]}]}`))
+	f.Add([]byte(`{"schema":"hydra-report-file/v1","reports":[{"cells":[{"status":"weird"}]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rf, err := DecodeReportFile(data)
+		if err != nil {
+			if rf != nil {
+				t.Fatal("error with non-nil report file")
+			}
+			return
+		}
+		if rf == nil {
+			t.Fatal("nil report file without error")
+		}
+		// Whatever decoded must satisfy the validated invariants and
+		// re-encode cleanly.
+		if err := rf.Validate(); err != nil {
+			t.Fatalf("decoded file fails its own validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := rf.Encode(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		rf2, err := DecodeReportFile(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode(encode(decode(x))) failed: %v", err)
+		}
+		if len(rf2.Reports) != len(rf.Reports) {
+			t.Fatalf("round trip changed report count: %d -> %d", len(rf.Reports), len(rf2.Reports))
+		}
+	})
+}

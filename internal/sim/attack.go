@@ -62,7 +62,11 @@ func (s *System) installAttack(spec *AttackSpec) error {
 		}
 	}
 	stream := &attackStream{mem: s.cfg.Mem, rows: spec.Rows, left: spec.Acts}
-	s.cores[0] = cpu.New(0, cpu.DefaultConfig(), stream, demandGate{s})
+	c, err := cpu.New(0, cpu.DefaultConfig(), stream, demandGate{s})
+	if err != nil {
+		return err
+	}
+	s.cores[0] = c
 	return nil
 }
 

@@ -13,11 +13,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/faults"
 	"repro/internal/memsim"
 	"repro/internal/mitigate"
 	"repro/internal/obsv"
@@ -109,6 +111,22 @@ type Config struct {
 	// (default), randomized row-swap, or delay throttling.
 	Mitigation MitigationPolicy
 
+	// Ctx, when non-nil, is polled periodically by Run; cancelling it
+	// aborts the simulation with the cancellation cause. The campaign
+	// harness uses this to kill stalled or timed-out cells.
+	Ctx context.Context
+
+	// Progress, when non-nil, is called periodically from Run with the
+	// current simulated cycle, so an external watchdog can detect a
+	// stalled simulation. It is called from the simulation goroutine
+	// and must be cheap and non-blocking.
+	Progress func(cycle int64)
+
+	// Chaos, when non-nil, injects the scenario's faults (dropped
+	// victim refreshes, postponed auto-refresh, RCT corruption) into
+	// the run. See internal/faults.
+	Chaos *faults.Scenario
+
 	// Traces, when non-empty, replaces the synthetic workload with
 	// one pre-recorded trace source per core (see internal/trace);
 	// Cores is ignored and Profile is used only for labeling.
@@ -148,6 +166,8 @@ type Result struct {
 	ActsByKind [5]int64
 	// WindowResets counts tracking-window resets during the run.
 	WindowResets int64
+	// Chaos summarizes injected faults (nil without a chaos scenario).
+	Chaos *ChaosStats
 	// Swaps / Throttles count policy actions under the row-swap and
 	// throttle mitigation policies.
 	Swaps     int64
@@ -200,6 +220,14 @@ type System struct {
 	throttled      map[uint32]int64 // row -> earliest next access
 	throttles      int64
 	throttleDelays int64
+
+	// Chaos fault-injection state (see chaos.go; chaos == nil when no
+	// scenario is configured).
+	chaos      *faults.Scenario
+	chaosRNG   uint64
+	chaosActs  int64
+	chaosStats ChaosStats
+	hydra      *core.Tracker // cached Hydra tracker for RCT corruption
 }
 
 // New assembles a system. The tracker structures are scaled per
@@ -218,6 +246,11 @@ func New(cfg Config) (*System, error) {
 	if err := validPolicy(cfg.Mitigation); err != nil {
 		return nil, err
 	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	s := &System{
 		cfg:        cfg,
 		window:     window,
@@ -226,6 +259,8 @@ func New(cfg Config) (*System, error) {
 		rowInverse: make(map[uint32]uint32),
 		swapRNG:    cfg.Seed ^ 0x0ddba11c0ffee,
 		throttled:  make(map[uint32]int64),
+		chaos:      cfg.Chaos,
+		chaosRNG:   cfg.Seed*0x9e3779b97f4a7c15 | 1,
 	}
 
 	mcfg := memsim.DefaultConfig(cfg.Mem)
@@ -236,8 +271,11 @@ func New(cfg Config) (*System, error) {
 	if err := s.makeTracker(&cfg); err != nil {
 		return nil, err
 	}
-	if h, ok := s.tracker.(*core.Tracker); ok && cfg.Trace != nil {
-		h.AttachTracer(cfg.Trace, func() int64 { return s.now })
+	if h, ok := s.tracker.(*core.Tracker); ok {
+		s.hydra = h
+		if cfg.Trace != nil {
+			h.AttachTracer(cfg.Trace, func() int64 { return s.now })
+		}
 	}
 	if s.tracker != nil && s.tracker.MetaRows() > 0 {
 		s.region = dram.NewReservedRegion(cfg.Mem, s.tracker.MetaRows())
@@ -263,7 +301,11 @@ func New(cfg Config) (*System, error) {
 	}
 	if len(cfg.Traces) > 0 {
 		for i, src := range cfg.Traces {
-			s.cores = append(s.cores, cpu.New(i, cpu.DefaultConfig(), src, demandGate{s}))
+			c, err := cpu.New(i, cpu.DefaultConfig(), src, demandGate{s})
+			if err != nil {
+				return nil, err
+			}
+			s.cores = append(s.cores, c)
 		}
 	} else {
 		for i := 0; i < cfg.Cores; i++ {
@@ -273,7 +315,11 @@ func New(cfg Config) (*System, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.cores = append(s.cores, cpu.New(i, cpu.DefaultConfig(), stream, demandGate{s}))
+			c, err := cpu.New(i, cpu.DefaultConfig(), stream, demandGate{s})
+			if err != nil {
+				return nil, err
+			}
+			s.cores = append(s.cores, c)
 		}
 	}
 	if err := s.installAttack(cfg.Attack); err != nil {
@@ -404,6 +450,9 @@ func (s *System) submitMeta(off uint64, kind memsim.Kind) {
 // to the tracker and turns mitigations into victim-refresh requests.
 func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 	s.actsByKind[kind]++
+	if s.chaos != nil {
+		s.chaosOnAct()
+	}
 	if s.cfg.Trace != nil {
 		s.cfg.Trace.Emit(obsv.Event{Cycle: at, Kind: obsv.EvActivate, Row: row, Aux: int64(kind)})
 	}
@@ -436,6 +485,12 @@ func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 		}
 		s.cfg.Trace.Emit(obsv.Event{Cycle: at, Kind: obsv.EvMitigate, Row: row, Aux: aux})
 	}
+	if s.chaos != nil && s.chaosDropRefresh() {
+		// The whole victim-refresh burst is lost downstream of the
+		// tracker: neither the observer nor the memory system sees it,
+		// so the security oracle keeps counting unmitigated activations.
+		return
+	}
 	if s.cfg.Observer != nil {
 		s.cfg.Observer.Mitigated(rh.Row(row))
 	}
@@ -464,6 +519,16 @@ func (s *System) Run() (Result, error) {
 			return Result{}, fmt.Errorf("sim: exceeded %d steps; likely deadlock", maxSteps)
 		}
 		next := s.mem.NextTime()
+		if steps&8191 == 0 {
+			if s.cfg.Ctx != nil {
+				if err := s.cfg.Ctx.Err(); err != nil {
+					return Result{}, fmt.Errorf("sim: aborted near cycle %d: %w", next, context.Cause(s.cfg.Ctx))
+				}
+			}
+			if s.cfg.Progress != nil && next < memsim.Infinity {
+				s.cfg.Progress(next)
+			}
+		}
 		var coreNext *cpu.Core
 		for _, c := range s.cores {
 			if t := c.NextTime(); t < next {
@@ -488,6 +553,9 @@ func (s *System) Run() (Result, error) {
 				s.cfg.Trace.Emit(obsv.Event{Cycle: s.nextReset, Kind: obsv.EvWindowReset, Aux: s.resets})
 			}
 			s.nextReset += s.window
+			if s.chaos != nil {
+				s.nextReset += s.chaosPostpone()
+			}
 			s.resets++
 			continue
 		}
@@ -542,6 +610,10 @@ func (s *System) result() Result {
 			r.CRA = &craStats{Hits: c.Hits, MissFetches: c.MissFetches, Writebacks: c.Writebacks}
 		}
 	}
+	if s.chaos != nil {
+		cs := s.chaosStats
+		r.Chaos = &cs
+	}
 	r.Metrics = s.collectMetrics(&r)
 	return r
 }
@@ -571,6 +643,11 @@ func (s *System) collectMetrics(r *Result) obsv.Metrics {
 	reg.Count("mitig.throttle_delays", s.throttleDelays)
 	if s.tracker != nil {
 		reg.Gauge("tracker.sram_bytes", float64(s.tracker.SRAMBytes()))
+	}
+	if s.chaos != nil {
+		reg.Count("chaos.dropped_refreshes", s.chaosStats.DroppedRefreshes)
+		reg.Count("chaos.corrupted_entries", s.chaosStats.CorruptedEntries)
+		reg.Count("chaos.postponed_resets", s.chaosStats.PostponedResets)
 	}
 	return reg.Snapshot()
 }

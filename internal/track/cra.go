@@ -53,11 +53,15 @@ func NewCRA(geom Geometry, trh, cacheBytes int, sink rh.MemSink) (*CRA, error) {
 	if lines <= 0 || lines%ways != 0 {
 		return nil, fmt.Errorf("track: cacheBytes %d must give a positive multiple of %d lines", cacheBytes, ways)
 	}
+	mc, err := cache.New(lines, ways, cache.LRU)
+	if err != nil {
+		return nil, fmt.Errorf("track: sizing CRA metadata cache: %w", err)
+	}
 	return &CRA{
 		geom:      geom,
 		threshold: mitigationThreshold(trh),
 		cacheSize: cacheBytes,
-		mc:        cache.New(lines, ways, cache.LRU),
+		mc:        mc,
 		counts:    make([]uint16, geom.Rows),
 		lineEpoch: make([]uint32, (geom.Rows+craRowsPerLine-1)/craRowsPerLine),
 		epoch:     1,

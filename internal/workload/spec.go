@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Spec renders the profile as the inline colon-separated form accepted
+// by ParseProfile: "name:suite:mpki:rows:hot:actsper".
+func (p Profile) Spec() string {
+	return fmt.Sprintf("%s:%s:%g:%d:%d:%g",
+		p.Name, p.Suite, p.MPKI, p.UniqueRows, p.Hot250, p.ActsPerRow)
+}
+
+// Validate checks the aggregate ranges a stream generator can satisfy.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case strings.ContainsAny(p.Name, ":/ \t\n"):
+		return fmt.Errorf("workload: profile name %q contains separator characters", p.Name)
+	case !(p.MPKI >= 0 && p.MPKI <= 1000): // negated so NaN is rejected
+		return fmt.Errorf("workload: %s: MPKI %g outside [0,1000]", p.Name, p.MPKI)
+	case p.UniqueRows < 0 || p.UniqueRows > 1<<28:
+		return fmt.Errorf("workload: %s: UniqueRows %d outside [0,2^28]", p.Name, p.UniqueRows)
+	case p.Hot250 < 0 || p.Hot250 > p.UniqueRows:
+		return fmt.Errorf("workload: %s: Hot250 %d outside [0,UniqueRows=%d]", p.Name, p.Hot250, p.UniqueRows)
+	case !(p.ActsPerRow >= 0 && p.ActsPerRow <= 1e6):
+		return fmt.Errorf("workload: %s: ActsPerRow %g outside [0,1e6]", p.Name, p.ActsPerRow)
+	}
+	return nil
+}
+
+// ParseProfile parses the inline profile spec
+//
+//	name:suite:mpki:uniqueRows:hot250:actsPerRow
+//
+// e.g. "myhot:SPEC-2017:20:16000:400:40". The suite must be one of the
+// paper's families (SPEC-2017, PARSEC, GAP, MICRO). It never panics on
+// malformed input (fuzzed in spec_fuzz_test.go): ad-hoc specs arrive
+// from the hydrasim command line.
+func ParseProfile(spec string) (Profile, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 6 {
+		return Profile{}, fmt.Errorf("workload: spec %q: want 6 colon-separated fields name:suite:mpki:rows:hot:actsper, have %d", spec, len(parts))
+	}
+	p := Profile{Name: parts[0], Suite: Suite(parts[1])}
+	switch p.Suite {
+	case SPEC, PARSEC, GAP, MICRO:
+	default:
+		return Profile{}, fmt.Errorf("workload: spec %q: unknown suite %q (have %s, %s, %s, %s)",
+			spec, parts[1], SPEC, PARSEC, GAP, MICRO)
+	}
+	var err error
+	if p.MPKI, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return Profile{}, fmt.Errorf("workload: spec %q: mpki: %w", spec, err)
+	}
+	if p.UniqueRows, err = strconv.Atoi(parts[3]); err != nil {
+		return Profile{}, fmt.Errorf("workload: spec %q: rows: %w", spec, err)
+	}
+	if p.Hot250, err = strconv.Atoi(parts[4]); err != nil {
+		return Profile{}, fmt.Errorf("workload: spec %q: hot: %w", spec, err)
+	}
+	if p.ActsPerRow, err = strconv.ParseFloat(parts[5], 64); err != nil {
+		return Profile{}, fmt.Errorf("workload: spec %q: actsper: %w", spec, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// ByNameOrSpec resolves a Table 3 profile by name, or — when the
+// argument contains a colon — parses it as an inline ParseProfile spec.
+func ByNameOrSpec(arg string) (Profile, error) {
+	if strings.Contains(arg, ":") {
+		return ParseProfile(arg)
+	}
+	return ByName(arg)
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "testing"
+
+// FuzzParseProfile pins the inline-spec parser at the command-line
+// boundary: any input must yield a profile that passes Validate and
+// round-trips through Spec, or an error — never a panic.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("myhot:SPEC-2017:20:16000:400:40")
+	f.Add("x:MICRO:0:0:0:0")
+	f.Add("bad")
+	f.Add(":::::")
+	f.Add("n:SPEC-2017:NaN:1:0:1")
+	f.Add("n:SPEC-2017:Inf:1:0:1")
+	f.Add("n:SPEC-2017:1:99999999999999999999:0:1")
+	f.Add("n:NOPE:1:1:0:1")
+	f.Add("n:SPEC-2017:1:100:200:1") // hot > rows
+	f.Add("a:b:c:d:e:f:g")
+	for _, p := range Profiles() {
+		f.Add(p.Spec())
+	}
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseProfile(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parsed profile fails validation: %v", err)
+		}
+		// The accepted profile must round-trip through its own spec.
+		q, err := ParseProfile(p.Spec())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", p.Spec(), err)
+		}
+		if q != p {
+			t.Fatalf("round trip changed profile: %+v -> %+v", p, q)
+		}
+	})
+}
+
+func TestParseProfileMatchesByNameOrSpec(t *testing.T) {
+	want := Profiles()[1] // parest
+	got, err := ByNameOrSpec(want.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("spec round trip: %+v != %+v", got, want)
+	}
+	byName, err := ByNameOrSpec("parest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName != want {
+		t.Fatalf("ByNameOrSpec(name) = %+v, want %+v", byName, want)
+	}
+	if _, err := ByNameOrSpec("no:such:spec"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if _, err := ByNameOrSpec("nosuchworkload"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
