@@ -3,8 +3,14 @@
 GO       ?= go
 SCALE    ?= 64
 BENCHOUT ?= BENCH_pr1.json
+BASELINE ?= BENCH_4.json
+# Fractional slowdown tolerated by bench-compare before it fails.
+BENCHTOL ?= 0.40
+# Optional prior `go test -bench` text output to embed in the baseline
+# (records the speedup the current tree delivers over it).
+PREV     ?=
 
-.PHONY: all build test check bench bench-json figures clean
+.PHONY: all build test check bench bench-smoke bench-baseline bench-compare bench-json figures clean
 
 all: build test
 
@@ -16,13 +22,36 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 # Stricter pre-merge gate: static analysis plus the full test suite
-# under the race detector (the campaign harness is concurrent).
-check:
+# under the race detector (the campaign harness is concurrent), plus a
+# single-iteration pass over every benchmark so a broken benchmark
+# cannot sit undetected until someone runs the perf gate.
+check: bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...
+
+# bench-smoke compiles and runs every benchmark exactly once, without
+# the unit tests (-run ^$$), as a fast structural check.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... > /dev/null
+
+# bench-baseline snapshots current benchmark results into $(BASELINE).
+# Pass PREV=<old bench text output> to record the prior numbers and
+# per-benchmark speedups in the artifact. -p 1 runs the per-package
+# test binaries serially: benchmarks must not time themselves while
+# another package's benchmarks compete for the CPU.
+bench-baseline:
+	$(GO) test -p 1 -bench . -benchmem -run '^$$' ./... \
+		| $(GO) run ./cmd/benchgate -write -out $(BASELINE) $(if $(PREV),-prev $(PREV))
+
+# bench-compare re-runs the benchmarks (serially, like the baseline)
+# and fails if any regresses beyond BENCHTOL against the committed
+# baseline.
+bench-compare:
+	$(GO) test -p 1 -bench . -benchmem -run '^$$' ./... \
+		| $(GO) run ./cmd/benchgate -compare $(BASELINE) -tolerance $(BENCHTOL)
 
 # bench-json writes the machine-readable perf trajectory artifact: a
 # fast, fixed sweep (fig5 on a representative workload subset) whose
@@ -38,5 +67,7 @@ bench-json:
 figures:
 	$(GO) run ./cmd/experiments all
 
+# clean removes generated run artifacts but keeps the committed
+# benchmark baseline the perf gate compares against.
 clean:
-	rm -f BENCH_*.json
+	rm -f $(filter-out $(BASELINE),$(wildcard BENCH_*.json))

@@ -1,0 +1,108 @@
+// Command benchgate turns `go test -bench` output into a committed
+// performance baseline and gates later runs against it.
+//
+// Write a baseline (optionally recording the measurements it replaced,
+// so the artifact shows the speedup the change delivered):
+//
+//	go test -bench . -benchmem ./... | benchgate -write -out BENCH_4.json [-prev old-bench.txt]
+//
+// Gate a run against the baseline (non-zero exit on regression):
+//
+//	go test -bench . -benchmem ./... | benchgate -compare BENCH_4.json [-tolerance 0.40]
+//
+// Only benchmarks present in both the baseline and the run are
+// compared. A run regresses when it is slower than the baseline by
+// more than the tolerance, or allocates more per op.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		write     = flag.Bool("write", false, "write a new baseline from stdin")
+		out       = flag.String("out", "BENCH_4.json", "baseline file to write")
+		prev      = flag.String("prev", "", "prior go-test bench output to record as 'previous' (write mode)")
+		compare   = flag.String("compare", "", "baseline file to gate stdin against")
+		tolerance = flag.Float64("tolerance", 0.40, "allowed fractional time regression (compare mode)")
+	)
+	flag.Parse()
+	if err := run(*write, *out, *prev, *compare, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(write bool, out, prev, compare string, tolerance float64) error {
+	if write == (compare != "") {
+		return fmt.Errorf("exactly one of -write or -compare is required")
+	}
+	current, err := stats.ParseBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(current) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+
+	if write {
+		var prevResults map[string]stats.BenchResult
+		if prev != "" {
+			f, err := os.Open(prev)
+			if err != nil {
+				return err
+			}
+			prevResults, err = stats.ParseBench(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		if err := stats.WriteBenchFile(out, current, prevResults); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s with %d benchmarks\n", out, len(current))
+		for name, s := range mustSpeedups(out) {
+			fmt.Printf("  %-40s %6.2fx vs previous\n", name, s)
+		}
+		return nil
+	}
+
+	base, err := stats.LoadBenchFile(compare)
+	if err != nil {
+		return err
+	}
+	deltas := stats.CompareBench(base.Benchmarks, current, tolerance)
+	if len(deltas) == 0 {
+		return fmt.Errorf("no benchmarks in common with %s", compare)
+	}
+	failed := false
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED: " + d.Reason
+			failed = true
+		}
+		fmt.Printf("%-40s %10.1f -> %10.1f ns/op (%.2fx)  %s\n",
+			d.Name, d.Baseline.NsPerOp, d.Current.NsPerOp, d.Ratio, status)
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression beyond %.0f%% tolerance", tolerance*100)
+	}
+	return nil
+}
+
+// mustSpeedups reloads the just-written file's speedup table (empty
+// when no previous results were recorded).
+func mustSpeedups(path string) map[string]float64 {
+	f, err := stats.LoadBenchFile(path)
+	if err != nil {
+		return nil
+	}
+	return f.Speedup
+}

@@ -24,8 +24,11 @@ type TraceSource interface {
 // Memory is the submission interface a core issues to;
 // *memsim.Memory implements it, and the full-system simulator wraps
 // it to interpose address remapping (row swaps) or throttling.
+// NewRequest hands out requests from the controller's pool so the
+// steady-state fetch loop allocates nothing.
 type Memory interface {
 	Submit(r *memsim.Request) bool
+	NewRequest() *memsim.Request
 }
 
 // Config holds the core parameters.
@@ -63,6 +66,9 @@ type Core struct {
 	pending   *memsim.Request // submission refused by a full queue
 	exhausted bool
 	finish    int64
+	// onFin is the completion callback installed on every read; bound
+	// once here so issuing a read does not allocate a closure.
+	onFin func(r *memsim.Request, f int64)
 
 	// Stats over the run.
 	Insts    int64
@@ -83,7 +89,22 @@ func New(id int, cfg Config, trace TraceSource, mem Memory) (*Core, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 32
 	}
-	return &Core{id: id, cfg: cfg, trace: trace, mem: mem}, nil
+	c := &Core{id: id, cfg: cfg, trace: trace, mem: mem}
+	c.onFin = c.readDone
+	return c, nil
+}
+
+// readDone is the memory system's completion callback: r.User carries
+// the instruction index the read was issued at. r may be recycled the
+// moment this returns, so only User is read.
+func (c *Core) readDone(r *memsim.Request, f int64) {
+	inst := r.User
+	for i := range c.reads {
+		if c.reads[i].instIdx == inst {
+			c.wake(i, f)
+			return
+		}
+	}
 }
 
 // MustNew is New for statically valid parameters.
@@ -178,7 +199,9 @@ func (c *Core) Step() {
 		c.reads = c.reads[1:]
 	}
 
-	req := &memsim.Request{Line: rec.Line, Arrive: c.time}
+	req := c.mem.NewRequest()
+	req.Line = rec.Line
+	req.Arrive = c.time
 	if rec.Write {
 		req.Kind = memsim.WriteReq
 		c.Writes++
@@ -186,18 +209,10 @@ func (c *Core) Step() {
 		req.Kind = memsim.ReadReq
 		c.Reads++
 		c.reads = append(c.reads, outstandingRead{instIdx: c.instCount, finishAt: -1})
-		idx := len(c.reads) - 1
-		// Identify the record by backward distance from the slice end:
-		// retirements pop from the front, so recompute on completion.
-		myInst := c.reads[idx].instIdx
-		req.OnFinish = func(f int64) {
-			for i := range c.reads {
-				if c.reads[i].instIdx == myInst {
-					c.wake(i, f)
-					return
-				}
-			}
-		}
+		// Identify the record by instruction index: retirements pop
+		// from the front of c.reads, so readDone searches on completion.
+		req.User = c.instCount
+		req.OnFinish = c.onFin
 	}
 	if !c.mem.Submit(req) {
 		// Keep the provisional ROB entry (for reads) and retry the

@@ -141,13 +141,18 @@ func TestWritesDoNotBlock(t *testing.T) {
 	}
 	c := MustNew(0, DefaultConfig(), &sliceTrace{reqs: reqs}, mem)
 	runSystem(t, []*Core{c}, mem)
-	// Writes are posted: the core's own finish time is tiny even
-	// though the memory system grinds for a long time afterwards.
-	if c.FinishTime() > 10000 {
-		t.Fatalf("posted writes blocked the core: finish = %d", c.FinishTime())
+	// Writes are posted: the ROB never stalls on one, and the core
+	// finishes (modulo queue backpressure) while the memory system is
+	// still grinding through the write backlog.
+	if c.StallFor != 0 {
+		t.Fatalf("posted writes stalled the ROB for %d cycles", c.StallFor)
 	}
-	if got := mem.Stats().Writes; got != 300 {
-		t.Fatalf("writes serviced = %d, want 300", got)
+	s := mem.Stats()
+	if c.FinishTime() >= s.BusyUntil {
+		t.Fatalf("core finish %d not ahead of memory drain %d", c.FinishTime(), s.BusyUntil)
+	}
+	if s.Writes != 300 {
+		t.Fatalf("writes serviced = %d, want 300", s.Writes)
 	}
 }
 

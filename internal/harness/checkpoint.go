@@ -33,6 +33,13 @@ type Checkpoint struct {
 	mu    sync.Mutex
 	path  string
 	cells map[string]json.RawMessage
+	gen   uint64 // bumped on every mutation of cells
+
+	// ioMu serializes file writes; wroteGen is the generation of the
+	// snapshot currently on disk, so a writer that lost the race to a
+	// newer snapshot skips its write instead of rolling the file back.
+	ioMu     sync.Mutex
+	wroteGen uint64
 }
 
 // OpenCheckpoint loads the checkpoint at path, creating an empty one
@@ -99,18 +106,35 @@ func (c *Checkpoint) Restore(key string) (any, bool, error) {
 }
 
 // Store records a completed cell and rewrites the checkpoint file
-// atomically (write to a temp file in the same directory, then rename).
+// atomically (write to a temp file in the same directory, fsync, then
+// rename). The cell map is only locked long enough to take a snapshot;
+// encoding and file IO happen outside the lock, so concurrent workers
+// do not serialize their simulations behind disk writes. If several
+// workers race, only the newest snapshot reaches the file.
 func (c *Checkpoint) Store(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("harness: encoding cell %q: %w", key, err)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.cells[key] = raw
-	data, err := json.MarshalIndent(checkpointFile{Schema: CheckpointSchema, Cells: c.cells}, "", "  ")
+	c.gen++
+	gen := c.gen
+	snap := make(map[string]json.RawMessage, len(c.cells))
+	for k, r := range c.cells {
+		snap[k] = r // RawMessage values are never mutated after insert
+	}
+	c.mu.Unlock()
+
+	data, err := json.MarshalIndent(checkpointFile{Schema: CheckpointSchema, Cells: snap}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
+	if gen <= c.wroteGen {
+		return nil // a newer snapshot is already on disk
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".checkpoint-*")
 	if err != nil {
@@ -121,6 +145,14 @@ func (c *Checkpoint) Store(key string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
+	// Flush to stable storage before the rename: otherwise a crash can
+	// leave the new name pointing at unwritten blocks, losing the old
+	// snapshot along with the new one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: syncing checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
@@ -129,5 +161,6 @@ func (c *Checkpoint) Store(key string, v any) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
+	c.wroteGen = gen
 	return nil
 }

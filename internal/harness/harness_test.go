@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -319,5 +320,46 @@ func TestCheckpointCorruptEntryRecomputes(t *testing.T) {
 	}
 	if !ran || results[0].Err != nil || results[0].Restored {
 		t.Fatalf("corrupt entry should force a recompute: ran=%v %+v", ran, results[0])
+	}
+}
+
+// TestCheckpointConcurrentStores hammers Store from many goroutines
+// and verifies the on-disk file ends up with every cell: snapshots are
+// taken under the cell lock and written newest-first, so racing
+// writers cannot roll the file back to a stale state.
+func TestCheckpointConcurrentStores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "checkpoint.json")
+	cp, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cp.Store(fmt.Sprintf("cell-%02d", i), cellValue{IPC: float64(i)}); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cp.Len() != n {
+		t.Fatalf("in-memory cells = %d, want %d", cp.Len(), n)
+	}
+	// Re-open from disk: the surviving snapshot must contain all cells.
+	cp2, err := OpenCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Len() != n {
+		t.Fatalf("on-disk cells = %d, want %d", cp2.Len(), n)
 	}
 }

@@ -5,13 +5,18 @@ import "repro/internal/obsv"
 // bank is the per-bank timing state.
 type bank struct {
 	openRow int   // -1 when precharged
-	readyAt int64 // earliest start of the next column/precharge activity
+	readyAt int64 // earliest start of the next column activity
 	lastAct int64 // last activation time (tRC spacing)
+	// wrRecover is the earliest the bank may precharge after a write
+	// burst (tWR write recovery). It gates only the precharge/activate
+	// path: row-hit CAS commands after a write stream at burst rate.
+	wrRecover int64
 }
 
 // channel is one memory controller: queues, banks, bus and refresh.
 type channel struct {
 	cfg *Config
+	sh  *shared
 	id  int
 
 	banks   []bank
@@ -20,17 +25,24 @@ type channel struct {
 	nextRef []int64 // per rank: next scheduled refresh
 
 	busFreeAt int64
+	// lastWriteEnd is when the most recent write burst left the data
+	// bus and lastWriteBank which bank it targeted; a read CAS pays
+	// the tWTR turnaround from it — the long value on the same bank,
+	// the short one across banks (standing in for DDR4 bank groups).
+	// Tracked per channel (bus granularity), which is exact for the
+	// single-rank baseline.
+	lastWriteEnd  int64
+	lastWriteBank int
 
-	mitigQ []*Request
-	readQ  []*Request
-	metaQ  []*Request
-	writeQ []*Request
+	mitigQ reqQueue
+	readQ  reqQueue
+	metaQ  reqQueue
+	writeQ reqQueue
 
 	draining   bool
 	now        int64
 	nextAt     int64
 	dispatchAt int64 // earliest next scheduling decision (pacing)
-	seq        int64
 	openBanks  int64 // banks with an open row (occupancy sampling)
 
 	stats Stats
@@ -50,10 +62,11 @@ const (
 	metaPressure = 32
 )
 
-func newChannel(cfg *Config, id int) *channel {
+func newChannel(cfg *Config, sh *shared, id int) *channel {
 	nBanks := cfg.Mem.RanksPerChannel * cfg.Mem.BanksPerRank
 	c := &channel{
 		cfg:     cfg,
+		sh:      sh,
 		id:      id,
 		banks:   make([]bank, nBanks),
 		faw:     make([][4]int64, cfg.Mem.RanksPerChannel),
@@ -61,6 +74,10 @@ func newChannel(cfg *Config, id int) *channel {
 		nextRef: make([]int64, cfg.Mem.RanksPerChannel),
 		nextAt:  Infinity,
 	}
+	c.mitigQ.init(nBanks, false)
+	c.readQ.init(nBanks, true)
+	c.metaQ.init(nBanks, true)
+	c.writeQ.init(nBanks, true)
 	for i := range c.banks {
 		c.banks[i].openRow = -1
 		c.banks[i].lastAct = -Infinity
@@ -77,8 +94,10 @@ func newChannel(cfg *Config, id int) *channel {
 			c.faw[r][j] = -Infinity
 		}
 		// Stagger refresh start per rank and channel a little so the
-		// whole system does not refresh in lockstep.
-		c.nextRef[r] = cfg.Timing.TREFI + int64(id*997+r*511)
+		// whole system does not refresh in lockstep. The stagger is
+		// clamped modulo tREFI: large channel/rank counts must not
+		// push a rank's first refresh beyond one extra window.
+		c.nextRef[r] = cfg.Timing.TREFI + int64(id*997+r*511)%cfg.Timing.TREFI
 	}
 	return c
 }
@@ -87,27 +106,35 @@ func (c *channel) bankIdx(r *Request) int {
 	return r.loc.Rank*c.cfg.Mem.BanksPerRank + r.loc.Bank
 }
 
+func (c *channel) queueFor(k Kind) *reqQueue {
+	switch k {
+	case MitigAct:
+		return &c.mitigQ
+	case ReadReq:
+		return &c.readQ
+	case MetaRead:
+		return &c.metaQ
+	default:
+		return &c.writeQ
+	}
+}
+
 func (c *channel) submit(r *Request) bool {
 	switch r.Kind {
 	case ReadReq:
-		if len(c.readQ) >= c.cfg.ReadQCap {
+		if c.readQ.len() >= c.cfg.ReadQCap {
 			c.stats.ReadQFull++
 			return false
 		}
-		c.readQ = append(c.readQ, r)
 	case WriteReq:
-		if len(c.writeQ) >= c.cfg.WriteQCap {
+		if c.writeQ.len() >= c.cfg.WriteQCap {
 			c.stats.WriteQFull++
 			return false
 		}
-		c.writeQ = append(c.writeQ, r)
-	case MetaRead, MetaWrite:
-		c.metaQ = append(c.metaQ, r) // internal traffic: never refused
-	case MitigAct:
-		c.mitigQ = append(c.mitigQ, r)
 	}
-	r.seq = c.seq
-	c.seq++
+	r.seq = c.sh.nextSeq()
+	b := c.bankIdx(r)
+	c.queueFor(r.Kind).add(r, b, c.banks[b].openRow, c.now)
 	at := r.Arrive
 	if at < c.dispatchAt {
 		at = c.dispatchAt
@@ -122,7 +149,17 @@ func (c *channel) submit(r *Request) bool {
 }
 
 func (c *channel) idle() bool {
-	return len(c.mitigQ) == 0 && len(c.readQ) == 0 && len(c.metaQ) == 0 && len(c.writeQ) == 0
+	return c.mitigQ.len() == 0 && c.readQ.len() == 0 && c.metaQ.len() == 0 && c.writeQ.len() == 0
+}
+
+// promote moves every request that has arrived by now from the future
+// heap into its bank bucket.
+func (c *channel) promote(q *reqQueue, now int64) {
+	for len(q.future) > 0 && q.future[0].key <= now {
+		r := q.future.pop().r
+		b := c.bankIdx(r)
+		q.insertReady(r, b, c.banks[b].openRow)
+	}
 }
 
 // step processes one scheduling decision at c.nextAt.
@@ -130,9 +167,13 @@ func (c *channel) step() {
 	now := c.nextAt
 	c.now = now
 	c.applyRefreshes(now)
-	c.stats.ReadQDepth.Observe(int64(len(c.readQ)))
-	c.stats.WriteQDepth.Observe(int64(len(c.writeQ)))
-	c.stats.MetaQDepth.Observe(int64(len(c.metaQ)))
+	c.promote(&c.mitigQ, now)
+	c.promote(&c.readQ, now)
+	c.promote(&c.metaQ, now)
+	c.promote(&c.writeQ, now)
+	c.stats.ReadQDepth.Observe(int64(c.readQ.len()))
+	c.stats.WriteQDepth.Observe(int64(c.writeQ.len()))
+	c.stats.MetaQDepth.Observe(int64(c.metaQ.len()))
 	c.stats.OpenBanks.Observe(c.openBanks)
 
 	r, from := c.pick(now)
@@ -143,7 +184,7 @@ func (c *channel) step() {
 		}
 		return
 	}
-	c.remove(from, r)
+	from.remove(r, c.bankIdx(r))
 	c.service(r, now)
 	// Pace the next scheduling decision: command bandwidth for
 	// bank-only activations; for data requests, stay a bounded
@@ -157,6 +198,9 @@ func (c *channel) step() {
 		}
 	}
 	c.nextAt = c.dispatchAt
+	if r.pooled {
+		c.sh.release(r)
+	}
 }
 
 // applyRefreshes issues every rank refresh scheduled at or before now.
@@ -174,11 +218,16 @@ func (c *channel) applyRefreshes(now int64) {
 				if bk.readyAt > s {
 					s = bk.readyAt
 				}
+				// The refresh's implicit precharge respects tWR.
+				if bk.openRow >= 0 && bk.wrRecover > s {
+					s = bk.wrRecover
+				}
 				bk.readyAt = s + c.cfg.Timing.TRFC
 				if bk.openRow >= 0 {
 					c.openBanks--
+					bk.openRow = -1
+					c.rowChanged(b)
 				}
-				bk.openRow = -1
 			}
 			c.stats.Refreshes++
 			c.cfg.Trace.Emit(obsv.Event{Cycle: start, Kind: obsv.EvRefresh, Row: uint32(c.id), Aux: int64(rank)})
@@ -187,13 +236,24 @@ func (c *channel) applyRefreshes(now int64) {
 	}
 }
 
+// rowChanged invalidates the cached row-hit candidates of every
+// FR-FCFS queue for one bank, after its open row changed.
+func (c *channel) rowChanged(bank int) {
+	c.readQ.buckets[bank].invalidateHit()
+	c.metaQ.buckets[bank].invalidateHit()
+	c.writeQ.buckets[bank].invalidateHit()
+}
+
+// earliestArrival returns the next time any queued request arrives;
+// only meaningful when pick found nothing ready.
 func (c *channel) earliestArrival() int64 {
 	t := Infinity
-	for _, q := range [][]*Request{c.mitigQ, c.readQ, c.metaQ, c.writeQ} {
-		for _, r := range q {
-			if r.Arrive < t {
-				t = r.Arrive
-			}
+	for _, q := range [...]*reqQueue{&c.mitigQ, &c.readQ, &c.metaQ, &c.writeQ} {
+		if q.readyN > 0 {
+			return c.now
+		}
+		if f := q.earliestFuture(); f < t {
+			t = f
 		}
 	}
 	if t < c.now {
@@ -205,90 +265,82 @@ func (c *channel) earliestArrival() int64 {
 // pick chooses the next request: mitigation activations, then demand
 // reads (or writes while draining), then metadata, then opportunistic
 // writes.
-func (c *channel) pick(now int64) (*Request, *[]*Request) {
-	if r := oldestArrived(c.mitigQ, now); r != nil {
+func (c *channel) pick(now int64) (*Request, *reqQueue) {
+	if r := c.mitigQ.oldestReady(); r != nil {
 		return r, &c.mitigQ
 	}
-	if len(c.writeQ) >= c.cfg.DrainHi {
+	wlen := c.writeQ.len()
+	if wlen >= c.cfg.DrainHi {
 		if !c.draining {
 			c.stats.DrainEnters++
 		}
 		c.draining = true
-	} else if len(c.writeQ) <= c.cfg.DrainLo {
+	} else if wlen <= c.cfg.DrainLo {
 		if c.draining {
 			c.stats.DrainExits++
 		}
 		c.draining = false
 	}
 	if c.draining {
-		if r := c.frfcfs(c.writeQ, now); r != nil {
+		if r := c.frfcfs(&c.writeQ, now); r != nil {
 			return r, &c.writeQ
 		}
 	}
-	if len(c.metaQ) > metaPressure {
-		if r := c.frfcfs(c.metaQ, now); r != nil {
+	if c.metaQ.len() > metaPressure {
+		if r := c.frfcfs(&c.metaQ, now); r != nil {
 			return r, &c.metaQ
 		}
 	}
-	if r := c.frfcfs(c.readQ, now); r != nil {
+	if r := c.frfcfs(&c.readQ, now); r != nil {
 		return r, &c.readQ
 	}
-	if r := c.frfcfs(c.metaQ, now); r != nil {
+	if r := c.frfcfs(&c.metaQ, now); r != nil {
 		return r, &c.metaQ
 	}
-	if r := c.frfcfs(c.writeQ, now); r != nil {
+	if r := c.frfcfs(&c.writeQ, now); r != nil {
 		return r, &c.writeQ
 	}
 	return nil, nil
 }
 
-func oldestArrived(q []*Request, now int64) *Request {
-	var best *Request
-	for _, r := range q {
-		if r.Arrive <= now && (best == nil || r.seq < best.seq) {
-			best = r
-		}
+// frfcfs implements first-ready FCFS over the bank index: among
+// arrived requests, prefer the one whose data can start earliest (row
+// hits win over conflicts), breaking ties by submission order; a
+// request older than starvationAge is served first regardless, oldest
+// submission first. Only one candidate per bank can win — the cached
+// oldest row-hit, else the bucket front — so the scan is over banks,
+// not requests.
+func (c *channel) frfcfs(q *reqQueue, now int64) *Request {
+	if q.readyN == 0 {
+		return nil
 	}
-	return best
-}
-
-// frfcfs implements first-ready FCFS: among arrived requests, prefer
-// the one whose data can start earliest (row hits win over conflicts),
-// breaking ties by age; a request older than starvationAge is served
-// first regardless.
-func (c *channel) frfcfs(q []*Request, now int64) *Request {
+	if r := q.starvingPick(now); r != nil {
+		return r
+	}
+	tm := &c.cfg.Timing
+	penalty := tm.TRP + tm.TRCD
 	var best *Request
 	var bestEst int64
-	for _, r := range q {
-		if r.Arrive > now {
+	for b := range q.buckets {
+		bk := &q.buckets[b]
+		if bk.live == 0 {
 			continue
 		}
-		if now-r.Arrive > starvationAge {
-			return r // queue order makes this the oldest starving one
-		}
-		b := &c.banks[c.bankIdx(r)]
-		est := b.readyAt
+		bank := &c.banks[b]
+		est := bank.readyAt
 		if est < now {
 			est = now
 		}
-		if b.openRow != r.loc.Row {
-			est += c.cfg.Timing.TRP + c.cfg.Timing.TRCD
+		cand := bk.bestHitFor(bank.openRow)
+		if cand == nil {
+			cand = bk.front()
+			est += penalty
 		}
-		if best == nil || est < bestEst || (est == bestEst && r.seq < best.seq) {
-			best, bestEst = r, est
+		if best == nil || est < bestEst || (est == bestEst && cand.seq < best.seq) {
+			best, bestEst = cand, est
 		}
 	}
 	return best
-}
-
-func (c *channel) remove(q *[]*Request, r *Request) {
-	for i, x := range *q {
-		if x == r {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
-		}
-	}
-	panic("memsim: request not in its queue")
 }
 
 func (c *channel) fawReady(rank int) int64 {
@@ -304,7 +356,8 @@ func (c *channel) fawPush(rank int, t int64) {
 // invoking the activation hook and completion callback.
 func (c *channel) service(r *Request, now int64) {
 	tm := &c.cfg.Timing
-	b := &c.banks[c.bankIdx(r)]
+	bi := c.bankIdx(r)
+	b := &c.banks[bi]
 	start := now
 	if b.readyAt > start {
 		start = b.readyAt
@@ -316,6 +369,9 @@ func (c *channel) service(r *Request, now int64) {
 	if r.Kind == MitigAct {
 		actAt := start
 		if b.openRow >= 0 {
+			if b.wrRecover > actAt {
+				actAt = b.wrRecover
+			}
 			actAt += tm.TRP
 			c.openBanks--
 		}
@@ -326,7 +382,10 @@ func (c *channel) service(r *Request, now int64) {
 			actAt = t
 		}
 		b.lastAct = actAt
-		b.openRow = -1
+		if b.openRow >= 0 {
+			b.openRow = -1
+			c.rowChanged(bi)
+		}
 		b.readyAt = actAt + tm.TRC
 		c.fawPush(r.loc.Rank, actAt)
 		c.stats.MitigActs++
@@ -334,6 +393,7 @@ func (c *channel) service(r *Request, now int64) {
 		activatedAt = actAt
 		finish = actAt + tm.TRC
 	} else {
+		isWrite := r.Kind == WriteReq || r.Kind == MetaWrite
 		var casAt int64
 		if b.openRow == r.loc.Row {
 			c.stats.RowHits++
@@ -341,6 +401,11 @@ func (c *channel) service(r *Request, now int64) {
 		} else {
 			actAt := start
 			if b.openRow >= 0 {
+				// Precharge first: it must wait out any pending write
+				// recovery on this bank.
+				if b.wrRecover > actAt {
+					actAt = b.wrRecover
+				}
 				actAt += tm.TRP
 			} else {
 				c.openBanks++
@@ -353,10 +418,22 @@ func (c *channel) service(r *Request, now int64) {
 			}
 			b.lastAct = actAt
 			b.openRow = r.loc.Row
+			c.rowChanged(bi)
 			c.fawPush(r.loc.Rank, actAt)
 			c.stats.Activates++
 			activatedAt = actAt
 			casAt = actAt + tm.TRCD
+		}
+		if !isWrite {
+			// Write-to-read turnaround: a read CAS must trail the last
+			// write burst by tWTR (long same-bank, short otherwise).
+			wtr := tm.TWTRS
+			if bi == c.lastWriteBank {
+				wtr = tm.TWTR
+			}
+			if t := c.lastWriteEnd + wtr; t > casAt {
+				casAt = t
+			}
 		}
 		dataAt := casAt + tm.TCAS
 		if c.busFreeAt > dataAt {
@@ -364,6 +441,14 @@ func (c *channel) service(r *Request, now int64) {
 		}
 		c.busFreeAt = dataAt + tm.TBURST
 		b.readyAt = dataAt + tm.TBURST - tm.TCAS
+		if isWrite {
+			// Write recovery: the bank cannot precharge (and so cannot
+			// open a new row) until tWR after the write burst leaves
+			// the bus. Row-hit CAS traffic is not held up.
+			b.wrRecover = dataAt + tm.TBURST + tm.TWR
+			c.lastWriteEnd = dataAt + tm.TBURST
+			c.lastWriteBank = bi
+		}
 		finish = dataAt + tm.TBURST
 
 		switch r.Kind {
@@ -384,7 +469,7 @@ func (c *channel) service(r *Request, now int64) {
 		c.stats.BusyUntil = finish
 	}
 	if r.OnFinish != nil {
-		r.OnFinish(finish)
+		r.OnFinish(r, finish)
 	}
 	// The hook runs last: it may submit new requests to this channel.
 	if activatedAt >= 0 && c.cfg.OnACT != nil {

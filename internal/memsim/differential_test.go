@@ -1,0 +1,608 @@
+package memsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/obsv"
+)
+
+// This file keeps the original linear-scan scheduler as a reference
+// implementation and checks, over randomized request streams, that the
+// indexed scheduler in channel.go makes the identical sequence of
+// decisions: same service order, same completion and activation times,
+// same statistics. The reference scans every queued request on every
+// decision (the pre-index behavior) with this PR's semantic fixes
+// folded in — lowest-seq starvation rescue, tWR/tWTR write timing,
+// meta writes coalesced through the write queue, clamped refresh
+// stagger — so any divergence isolates the indexing itself.
+
+type linChannel struct {
+	cfg *Config
+	id  int
+
+	banks   []bank
+	faw     [][4]int64
+	fawIdx  []int
+	nextRef []int64
+
+	busFreeAt     int64
+	lastWriteEnd  int64
+	lastWriteBank int
+
+	mitigQ []*Request
+	readQ  []*Request
+	metaQ  []*Request
+	writeQ []*Request
+
+	draining   bool
+	now        int64
+	nextAt     int64
+	dispatchAt int64
+	seq        int64
+	openBanks  int64
+
+	stats Stats
+}
+
+func newLinChannel(cfg *Config, id int) *linChannel {
+	nBanks := cfg.Mem.RanksPerChannel * cfg.Mem.BanksPerRank
+	c := &linChannel{
+		cfg:     cfg,
+		id:      id,
+		banks:   make([]bank, nBanks),
+		faw:     make([][4]int64, cfg.Mem.RanksPerChannel),
+		fawIdx:  make([]int, cfg.Mem.RanksPerChannel),
+		nextRef: make([]int64, cfg.Mem.RanksPerChannel),
+		nextAt:  Infinity,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+		c.banks[i].lastAct = -Infinity
+	}
+	c.stats.ReadQDepth = obsv.NewHist(obsv.PowersOfTwo(64)...)
+	c.stats.WriteQDepth = obsv.NewHist(obsv.PowersOfTwo(128)...)
+	c.stats.MetaQDepth = obsv.NewHist(obsv.PowersOfTwo(64)...)
+	c.stats.OpenBanks = obsv.NewHist(obsv.PowersOfTwo(32)...)
+	for r := range c.faw {
+		for j := range c.faw[r] {
+			c.faw[r][j] = -Infinity
+		}
+		c.nextRef[r] = cfg.Timing.TREFI + int64(id*997+r*511)%cfg.Timing.TREFI
+	}
+	return c
+}
+
+func (c *linChannel) bankIdx(r *Request) int {
+	return r.loc.Rank*c.cfg.Mem.BanksPerRank + r.loc.Bank
+}
+
+func (c *linChannel) submit(r *Request) bool {
+	switch r.Kind {
+	case ReadReq:
+		if len(c.readQ) >= c.cfg.ReadQCap {
+			c.stats.ReadQFull++
+			return false
+		}
+		c.readQ = append(c.readQ, r)
+	case WriteReq:
+		if len(c.writeQ) >= c.cfg.WriteQCap {
+			c.stats.WriteQFull++
+			return false
+		}
+		c.writeQ = append(c.writeQ, r)
+	case MetaRead:
+		c.metaQ = append(c.metaQ, r) // internal traffic: never refused
+	case MetaWrite:
+		c.writeQ = append(c.writeQ, r) // coalesced with the write drain
+	case MitigAct:
+		c.mitigQ = append(c.mitigQ, r)
+	}
+	c.seq++
+	r.seq = c.seq
+	at := r.Arrive
+	if at < c.dispatchAt {
+		at = c.dispatchAt
+	}
+	if at < c.now {
+		at = c.now
+	}
+	if at < c.nextAt {
+		c.nextAt = at
+	}
+	return true
+}
+
+func (c *linChannel) idle() bool {
+	return len(c.mitigQ) == 0 && len(c.readQ) == 0 && len(c.metaQ) == 0 && len(c.writeQ) == 0
+}
+
+func (c *linChannel) step() {
+	now := c.nextAt
+	c.now = now
+	c.applyRefreshes(now)
+	c.stats.ReadQDepth.Observe(int64(len(c.readQ)))
+	c.stats.WriteQDepth.Observe(int64(len(c.writeQ)))
+	c.stats.MetaQDepth.Observe(int64(len(c.metaQ)))
+	c.stats.OpenBanks.Observe(c.openBanks)
+
+	r, from := c.pick(now)
+	if r == nil {
+		c.nextAt = c.earliestArrival()
+		if c.nextAt < c.dispatchAt {
+			c.nextAt = c.dispatchAt
+		}
+		return
+	}
+	c.remove(from, r)
+	c.service(r, now)
+	c.dispatchAt = now + cmdGap
+	if r.Kind != MitigAct {
+		lookahead := c.cfg.Timing.TRP + c.cfg.Timing.TRCD + c.cfg.Timing.TCAS
+		if t := c.busFreeAt - lookahead; t > c.dispatchAt {
+			c.dispatchAt = t
+		}
+	}
+	c.nextAt = c.dispatchAt
+}
+
+func (c *linChannel) applyRefreshes(now int64) {
+	for rank := range c.nextRef {
+		for c.nextRef[rank] <= now {
+			start := c.nextRef[rank]
+			lo := rank * c.cfg.Mem.BanksPerRank
+			for b := lo; b < lo+c.cfg.Mem.BanksPerRank; b++ {
+				bk := &c.banks[b]
+				s := start
+				if bk.readyAt > s {
+					s = bk.readyAt
+				}
+				if bk.openRow >= 0 && bk.wrRecover > s {
+					s = bk.wrRecover
+				}
+				bk.readyAt = s + c.cfg.Timing.TRFC
+				if bk.openRow >= 0 {
+					c.openBanks--
+					bk.openRow = -1
+				}
+			}
+			c.stats.Refreshes++
+			c.cfg.Trace.Emit(obsv.Event{Cycle: start, Kind: obsv.EvRefresh, Row: uint32(c.id), Aux: int64(rank)})
+			c.nextRef[rank] += c.cfg.Timing.TREFI
+		}
+	}
+}
+
+func (c *linChannel) earliestArrival() int64 {
+	t := Infinity
+	for _, q := range [][]*Request{c.mitigQ, c.readQ, c.metaQ, c.writeQ} {
+		for _, r := range q {
+			if r.Arrive < t {
+				t = r.Arrive
+			}
+		}
+	}
+	if t < c.now {
+		t = c.now
+	}
+	return t
+}
+
+func (c *linChannel) pick(now int64) (*Request, *[]*Request) {
+	if r := linOldestArrived(c.mitigQ, now); r != nil {
+		return r, &c.mitigQ
+	}
+	if len(c.writeQ) >= c.cfg.DrainHi {
+		if !c.draining {
+			c.stats.DrainEnters++
+		}
+		c.draining = true
+	} else if len(c.writeQ) <= c.cfg.DrainLo {
+		if c.draining {
+			c.stats.DrainExits++
+		}
+		c.draining = false
+	}
+	if c.draining {
+		if r := c.frfcfs(c.writeQ, now); r != nil {
+			return r, &c.writeQ
+		}
+	}
+	if len(c.metaQ) > metaPressure {
+		if r := c.frfcfs(c.metaQ, now); r != nil {
+			return r, &c.metaQ
+		}
+	}
+	if r := c.frfcfs(c.readQ, now); r != nil {
+		return r, &c.readQ
+	}
+	if r := c.frfcfs(c.metaQ, now); r != nil {
+		return r, &c.metaQ
+	}
+	if r := c.frfcfs(c.writeQ, now); r != nil {
+		return r, &c.writeQ
+	}
+	return nil, nil
+}
+
+func linOldestArrived(q []*Request, now int64) *Request {
+	var best *Request
+	for _, r := range q {
+		if r.Arrive <= now && (best == nil || r.seq < best.seq) {
+			best = r
+		}
+	}
+	return best
+}
+
+// frfcfs is the reference picker: a full scan over the queue with the
+// fixed starvation rule (oldest submission among all starving
+// requests, regardless of queue position).
+func (c *linChannel) frfcfs(q []*Request, now int64) *Request {
+	var starving *Request
+	for _, r := range q {
+		if r.Arrive <= now && r.Arrive < now-starvationAge {
+			if starving == nil || r.seq < starving.seq {
+				starving = r
+			}
+		}
+	}
+	if starving != nil {
+		return starving
+	}
+	var best *Request
+	var bestEst int64
+	for _, r := range q {
+		if r.Arrive > now {
+			continue
+		}
+		b := &c.banks[c.bankIdx(r)]
+		est := b.readyAt
+		if est < now {
+			est = now
+		}
+		if b.openRow != r.loc.Row {
+			est += c.cfg.Timing.TRP + c.cfg.Timing.TRCD
+		}
+		if best == nil || est < bestEst || (est == bestEst && r.seq < best.seq) {
+			best, bestEst = r, est
+		}
+	}
+	return best
+}
+
+func (c *linChannel) remove(q *[]*Request, r *Request) {
+	for i, x := range *q {
+		if x == r {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic("memsim: request not in its queue")
+}
+
+func (c *linChannel) fawReady(rank int) int64 {
+	return c.faw[rank][c.fawIdx[rank]] + c.cfg.Timing.TFAW
+}
+
+func (c *linChannel) fawPush(rank int, t int64) {
+	c.faw[rank][c.fawIdx[rank]] = t
+	c.fawIdx[rank] = (c.fawIdx[rank] + 1) % 4
+}
+
+func (c *linChannel) service(r *Request, now int64) {
+	tm := &c.cfg.Timing
+	bi := c.bankIdx(r)
+	b := &c.banks[bi]
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var activatedAt int64 = -1
+	var finish int64
+
+	if r.Kind == MitigAct {
+		actAt := start
+		if b.openRow >= 0 {
+			if b.wrRecover > actAt {
+				actAt = b.wrRecover
+			}
+			actAt += tm.TRP
+			c.openBanks--
+		}
+		if t := b.lastAct + tm.TRC; t > actAt {
+			actAt = t
+		}
+		if t := c.fawReady(r.loc.Rank); t > actAt {
+			actAt = t
+		}
+		b.lastAct = actAt
+		b.openRow = -1
+		b.readyAt = actAt + tm.TRC
+		c.fawPush(r.loc.Rank, actAt)
+		c.stats.MitigActs++
+		c.stats.Activates++
+		activatedAt = actAt
+		finish = actAt + tm.TRC
+	} else {
+		isWrite := r.Kind == WriteReq || r.Kind == MetaWrite
+		var casAt int64
+		if b.openRow == r.loc.Row {
+			c.stats.RowHits++
+			casAt = start
+		} else {
+			actAt := start
+			if b.openRow >= 0 {
+				if b.wrRecover > actAt {
+					actAt = b.wrRecover
+				}
+				actAt += tm.TRP
+			} else {
+				c.openBanks++
+			}
+			if t := b.lastAct + tm.TRC; t > actAt {
+				actAt = t
+			}
+			if t := c.fawReady(r.loc.Rank); t > actAt {
+				actAt = t
+			}
+			b.lastAct = actAt
+			b.openRow = r.loc.Row
+			c.fawPush(r.loc.Rank, actAt)
+			c.stats.Activates++
+			activatedAt = actAt
+			casAt = actAt + tm.TRCD
+		}
+		if !isWrite {
+			wtr := tm.TWTRS
+			if bi == c.lastWriteBank {
+				wtr = tm.TWTR
+			}
+			if t := c.lastWriteEnd + wtr; t > casAt {
+				casAt = t
+			}
+		}
+		dataAt := casAt + tm.TCAS
+		if c.busFreeAt > dataAt {
+			dataAt = c.busFreeAt
+		}
+		c.busFreeAt = dataAt + tm.TBURST
+		b.readyAt = dataAt + tm.TBURST - tm.TCAS
+		if isWrite {
+			b.wrRecover = dataAt + tm.TBURST + tm.TWR
+			c.lastWriteEnd = dataAt + tm.TBURST
+			c.lastWriteBank = bi
+		}
+		finish = dataAt + tm.TBURST
+
+		switch r.Kind {
+		case ReadReq:
+			finish += c.cfg.StaticLatency
+			c.stats.Reads++
+			c.stats.ReadLatSum += finish - r.Arrive
+		case WriteReq:
+			c.stats.Writes++
+		case MetaRead:
+			c.stats.MetaReads++
+		case MetaWrite:
+			c.stats.MetaWrites++
+		}
+	}
+
+	if finish > c.stats.BusyUntil {
+		c.stats.BusyUntil = finish
+	}
+	if r.OnFinish != nil {
+		r.OnFinish(r, finish)
+	}
+	if activatedAt >= 0 && c.cfg.OnACT != nil {
+		c.cfg.OnACT(c.cfg.Mem.GlobalRow(r.loc), r.Kind, activatedAt)
+	}
+}
+
+// linMemory mirrors Memory over linChannels.
+type linMemory struct {
+	cfg      Config
+	channels []*linChannel
+}
+
+func newLinMemory(cfg Config) *linMemory {
+	m := &linMemory{cfg: cfg}
+	for c := 0; c < cfg.Mem.Channels; c++ {
+		m.channels = append(m.channels, newLinChannel(&m.cfg, c))
+	}
+	return m
+}
+
+func (m *linMemory) Submit(r *Request) bool {
+	r.loc = m.cfg.Mem.Decode(r.Line)
+	return m.channels[r.loc.Channel].submit(r)
+}
+
+func (m *linMemory) NextTime() int64 {
+	t := Infinity
+	for _, c := range m.channels {
+		if c.nextAt < t {
+			t = c.nextAt
+		}
+	}
+	return t
+}
+
+func (m *linMemory) Step() {
+	best := m.channels[0]
+	for _, c := range m.channels[1:] {
+		if c.nextAt < best.nextAt {
+			best = c
+		}
+	}
+	best.step()
+}
+
+func (m *linMemory) Stats() Stats {
+	var s Stats
+	for _, c := range m.channels {
+		s.Reads += c.stats.Reads
+		s.Writes += c.stats.Writes
+		s.MetaReads += c.stats.MetaReads
+		s.MetaWrites += c.stats.MetaWrites
+		s.MitigActs += c.stats.MitigActs
+		s.Activates += c.stats.Activates
+		s.RowHits += c.stats.RowHits
+		s.Refreshes += c.stats.Refreshes
+		s.ReadLatSum += c.stats.ReadLatSum
+		s.DrainEnters += c.stats.DrainEnters
+		s.DrainExits += c.stats.DrainExits
+		s.ReadQFull += c.stats.ReadQFull
+		s.WriteQFull += c.stats.WriteQFull
+		s.ReadQDepth.Merge(c.stats.ReadQDepth)
+		s.WriteQDepth.Merge(c.stats.WriteQDepth)
+		s.MetaQDepth.Merge(c.stats.MetaQDepth)
+		s.OpenBanks.Merge(c.stats.OpenBanks)
+		if c.stats.BusyUntil > s.BusyUntil {
+			s.BusyUntil = c.stats.BusyUntil
+		}
+	}
+	return s
+}
+
+// reqSpec is one generated request, shared by both simulators (each
+// builds its own Request instances; the structs carry per-scheduler
+// internal state and must not be shared).
+type reqSpec struct {
+	line   uint64
+	kind   Kind
+	arrive int64
+}
+
+// schedEvent is one observable scheduler action: a request completion
+// (fin=true) or a row activation.
+type schedEvent struct {
+	fin    bool
+	id     int64
+	t      int64
+	row    uint32
+	kind   Kind
+	refuse bool
+}
+
+type memLike interface {
+	Submit(*Request) bool
+	NextTime() int64
+	Step()
+}
+
+// driveStream submits the specs in arrival order, stepping the
+// simulator up to each arrival, then drains it, returning the full
+// observable event log.
+func driveStream(m memLike, setHook func(func(uint32, Kind, int64)), specs []reqSpec) []schedEvent {
+	var events []schedEvent
+	setHook(func(row uint32, kind Kind, at int64) {
+		events = append(events, schedEvent{row: row, kind: kind, t: at})
+	})
+	onFin := func(r *Request, f int64) {
+		events = append(events, schedEvent{fin: true, id: r.User, t: f})
+	}
+	for i, sp := range specs {
+		for m.NextTime() < sp.arrive {
+			m.Step()
+		}
+		r := &Request{Line: sp.line, Kind: sp.kind, Arrive: sp.arrive, User: int64(i), OnFinish: onFin}
+		if !m.Submit(r) {
+			events = append(events, schedEvent{refuse: true, id: int64(i)})
+		}
+	}
+	for m.NextTime() < Infinity {
+		m.Step()
+	}
+	return events
+}
+
+// fuzzStream generates a bursty mixed request stream. Rows are drawn
+// from a small set so row hits, conflicts and starvation all occur;
+// occasional long gaps exercise refresh catch-up.
+func fuzzStream(rng *rand.Rand, mem dram.Config, n int) []reqSpec {
+	specs := make([]reqSpec, 0, n)
+	clock := int64(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			clock += int64(rng.Intn(200))
+		case 1:
+			if rng.Intn(50) == 0 {
+				clock += 30_000 // across a tREFI boundary
+			}
+		default:
+			clock += int64(rng.Intn(6))
+		}
+		var k Kind
+		switch p := rng.Intn(100); {
+		case p < 55:
+			k = ReadReq
+		case p < 70:
+			k = WriteReq
+		case p < 80:
+			k = MetaRead
+		case p < 90:
+			k = MetaWrite
+		default:
+			k = MitigAct
+		}
+		loc := dram.Loc{
+			Channel: rng.Intn(mem.Channels),
+			Rank:    rng.Intn(mem.RanksPerChannel),
+			Bank:    rng.Intn(mem.BanksPerRank),
+			Row:     rng.Intn(6) * 37,
+			Col:     rng.Intn(mem.RowBytes / 64),
+		}
+		specs = append(specs, reqSpec{line: mem.Encode(loc), kind: k, arrive: clock})
+	}
+	return specs
+}
+
+// TestDifferentialSchedulerEquivalence fuzzes request streams through
+// the indexed scheduler and the linear reference and requires bitwise
+// identical event logs and statistics.
+func TestDifferentialSchedulerEquivalence(t *testing.T) {
+	mem := dram.Baseline()
+	configs := []func() Config{
+		func() Config { return DefaultConfig(mem) },
+		func() Config { // tight queues: refusals and constant draining
+			cfg := DefaultConfig(mem)
+			cfg.ReadQCap = 8
+			cfg.WriteQCap = 12
+			cfg.DrainHi = 8
+			cfg.DrainLo = 2
+			return cfg
+		},
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		for ci, mkCfg := range configs {
+			specs := fuzzStream(rand.New(rand.NewSource(seed)), mem, 4000)
+
+			cfgA := mkCfg()
+			idx := New(cfgA)
+			got := driveStream(idx, func(h func(uint32, Kind, int64)) { cfgA.OnACT = h; idx.cfg.OnACT = h }, specs)
+
+			cfgB := mkCfg()
+			lin := newLinMemory(cfgB)
+			want := driveStream(lin, func(h func(uint32, Kind, int64)) { cfgB.OnACT = h; lin.cfg.OnACT = h }, specs)
+
+			if len(got) != len(want) {
+				t.Fatalf("seed %d cfg %d: %d events vs %d in reference", seed, ci, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d cfg %d: event %d diverged:\nindexed:   %+v\nreference: %+v",
+						seed, ci, i, got[i], want[i])
+				}
+			}
+			if a, b := idx.Stats(), lin.Stats(); !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d cfg %d: stats diverged:\nindexed:   %+v\nreference: %+v", seed, ci, a, b)
+			}
+		}
+	}
+}

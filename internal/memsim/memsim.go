@@ -31,7 +31,9 @@ type Kind uint8
 
 // Request kinds, in scheduling-priority order (after refresh):
 // mitigation activations first, then demand reads, then metadata
-// transfers, then writes (drained in batches).
+// reads, then writes. Writes — demand and metadata alike — coalesce in
+// the write queue and drain in batches, amortizing the write-to-read
+// bus turnaround (tWTR) instead of paying it per interleaved write.
 const (
 	MitigAct  Kind = iota // victim-refresh activation: bank-only, no data
 	ReadReq               // demand read (LLC miss)
@@ -58,17 +60,26 @@ func (k Kind) String() string {
 	}
 }
 
-// Request is one memory-controller transaction.
+// Request is one memory-controller transaction. Obtain requests from
+// Memory.NewRequest to run allocation-free (they are recycled after
+// service); requests built directly with &Request{} also work.
 type Request struct {
 	Line   uint64
 	Kind   Kind
 	Arrive int64
-	// OnFinish, if non-nil, is called once with the completion time
-	// (for reads: when data is back at the core).
-	OnFinish func(finish int64)
+	// User is opaque caller context, carried through to OnFinish
+	// (e.g. the instruction index a core tags its loads with).
+	User int64
+	// OnFinish, if non-nil, is called once with the request and its
+	// completion time (for reads: when data is back at the core). The
+	// request is only valid for the duration of the call when it came
+	// from the pool; read User inside the callback, don't retain r.
+	OnFinish func(r *Request, finish int64)
 
-	loc dram.Loc
-	seq int64
+	loc    dram.Loc
+	seq    int64
+	qpos   int32 // index in its bank bucket while queued
+	pooled bool  // recycle into the free list after service
 }
 
 // Config parameterizes the memory system.
@@ -175,9 +186,11 @@ func (s Stats) CollectInto(r *obsv.Registry) {
 	r.Histogram("memsim.open_banks", s.OpenBanks)
 }
 
-// Memory is the full memory system: one controller per channel.
+// Memory is the full memory system: one controller per channel. It is
+// not safe for concurrent use; the simulator is single-goroutine.
 type Memory struct {
 	cfg      Config
+	sh       shared
 	channels []*channel
 }
 
@@ -192,7 +205,7 @@ func New(cfg Config) *Memory {
 	}
 	m := &Memory{cfg: cfg}
 	for c := 0; c < cfg.Mem.Channels; c++ {
-		m.channels = append(m.channels, newChannel(&m.cfg, c))
+		m.channels = append(m.channels, newChannel(&m.cfg, &m.sh, c))
 	}
 	return m
 }
@@ -272,7 +285,7 @@ func (m *Memory) Stats() Stats {
 func (m *Memory) QueuePressure() float64 {
 	max := 0
 	for _, c := range m.channels {
-		if n := len(c.readQ); n > max {
+		if n := c.readQ.len(); n > max {
 			max = n
 		}
 	}

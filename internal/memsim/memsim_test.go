@@ -30,7 +30,7 @@ func TestColdReadLatency(t *testing.T) {
 		Line:     lineAt(mem, 0, 0, 100, 0),
 		Kind:     ReadReq,
 		Arrive:   0,
-		OnFinish: func(f int64) { finish = f },
+		OnFinish: func(_ *Request, f int64) { finish = f },
 	})
 	drain(m)
 	// Closed bank: ACT(0) + tRCD(45) + tCAS(45) + tBURST(8) + static(60).
@@ -51,9 +51,9 @@ func TestRowHitFasterThanConflict(t *testing.T) {
 		m := testMem(nil)
 		var f1, f2 int64
 		m.Submit(&Request{Line: lineAt(mem, 0, 0, 100, 0), Kind: ReadReq, Arrive: 0,
-			OnFinish: func(f int64) { f1 = f }})
+			OnFinish: func(_ *Request, f int64) { f1 = f }})
 		m.Submit(&Request{Line: lineAt(mem, 0, 0, row2, 1), Kind: ReadReq, Arrive: 0,
-			OnFinish: func(f int64) { f2 = f }})
+			OnFinish: func(_ *Request, f int64) { f2 = f }})
 		drain(m)
 		if f2 <= f1 {
 			t.Fatalf("second request finished first: %d <= %d", f2, f1)
@@ -120,7 +120,7 @@ func TestBandwidthBoundedByBurst(t *testing.T) {
 		// Spread over banks, same channel, row hits after first touch.
 		bank := i % 16
 		m.Submit(&Request{Line: lineAt(mem, 0, bank, 10, i/16), Kind: ReadReq, Arrive: 0,
-			OnFinish: func(f int64) {
+			OnFinish: func(_ *Request, f int64) {
 				if f > last {
 					last = f
 				}
@@ -147,7 +147,7 @@ func TestChannelsAreParallel(t *testing.T) {
 		for i := 0; i < 128; i++ {
 			ch := chs[i%len(chs)]
 			m.Submit(&Request{Line: lineAt(mem, ch, i%16, 10, i), Kind: ReadReq, Arrive: 0,
-				OnFinish: func(f int64) {
+				OnFinish: func(_ *Request, f int64) {
 					if f > last {
 						last = f
 					}
@@ -189,7 +189,7 @@ func TestWriteDrainHysteresis(t *testing.T) {
 	}
 	var readDone int64
 	m.Submit(&Request{Line: lineAt(mem, 0, 0, 30, 0), Kind: ReadReq, Arrive: 0,
-		OnFinish: func(f int64) { readDone = f }})
+		OnFinish: func(_ *Request, f int64) { readDone = f }})
 	drain(m)
 	s := m.Stats()
 	if s.Writes != 12 || s.Reads != 1 {
@@ -206,9 +206,9 @@ func TestReadsPrioritizedOverWrites(t *testing.T) {
 	var readDone, writeDone int64
 	// One write and one read to the same bank, write submitted first.
 	m.Submit(&Request{Line: lineAt(mem, 0, 0, 20, 0), Kind: WriteReq, Arrive: 0,
-		OnFinish: func(f int64) { writeDone = f }})
+		OnFinish: func(_ *Request, f int64) { writeDone = f }})
 	m.Submit(&Request{Line: lineAt(mem, 0, 0, 30, 0), Kind: ReadReq, Arrive: 0,
-		OnFinish: func(f int64) { readDone = f }})
+		OnFinish: func(_ *Request, f int64) { readDone = f }})
 	drain(m)
 	if readDone >= writeDone {
 		t.Fatalf("read (%d) not prioritized over write (%d)", readDone, writeDone)
@@ -311,7 +311,7 @@ func TestStarvationGuard(t *testing.T) {
 	var victimDone int64
 	// One conflict request to row 99...
 	m.Submit(&Request{Line: lineAt(mem, 0, 0, 99, 0), Kind: ReadReq, Arrive: 0,
-		OnFinish: func(f int64) { victimDone = f }})
+		OnFinish: func(_ *Request, f int64) { victimDone = f }})
 	// ...buried under thousands of row hits to row 10 arriving over time.
 	for i := 1; i < 3000; i++ {
 		m.Submit(&Request{Line: lineAt(mem, 0, 0, 10, i%128), Kind: ReadReq, Arrive: int64(i)})
@@ -345,14 +345,14 @@ func TestMetaPressurePrioritizesBacklog(t *testing.T) {
 	}
 	// Step until the backlog falls to the pressure bound; reads must
 	// not all have gone first.
-	for steps := 0; len(ch.metaQ) > metaPressure && steps < 10000; steps++ {
+	for steps := 0; ch.metaQ.len() > metaPressure && steps < 10000; steps++ {
 		if m.NextTime() == Infinity {
 			break
 		}
 		m.Step()
 	}
-	if len(ch.metaQ) > metaPressure {
-		t.Fatalf("meta backlog stuck at %d", len(ch.metaQ))
+	if ch.metaQ.len() > metaPressure {
+		t.Fatalf("meta backlog stuck at %d", ch.metaQ.len())
 	}
 	if got := m.Stats().Reads; got == 200 {
 		t.Fatal("all demand reads finished before the meta backlog drained")

@@ -1,0 +1,48 @@
+package memsim
+
+// shared is per-Memory state the channels use in common: the request
+// free list and the global submission counter. seq is global (not per
+// channel) so a recycled request can never collide with a stale heap
+// entry's stamp on another channel. Memory is single-goroutine, like
+// the rest of the simulator, so no locking is needed.
+type shared struct {
+	seq  int64
+	free []*Request
+}
+
+func (sh *shared) nextSeq() int64 {
+	sh.seq++
+	return sh.seq
+}
+
+// get returns a zeroed pooled request.
+func (sh *shared) get() *Request {
+	if n := len(sh.free); n > 0 {
+		r := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		*r = Request{pooled: true}
+		return r
+	}
+	return &Request{pooled: true}
+}
+
+// release returns a serviced pooled request to the free list. The
+// negative seq keeps any stale heap entries pointing at it dead.
+func (sh *shared) release(r *Request) {
+	*r = Request{pooled: true, seq: -1}
+	sh.free = append(sh.free, r)
+}
+
+// NewRequest returns a Request from the memory system's pool. Pooled
+// requests are recycled automatically once serviced (after OnFinish
+// and the activation hook return), which keeps steady-state stepping
+// allocation-free; do not retain them afterwards. Requests allocated
+// directly with &Request{} keep working and are simply never recycled.
+//
+// Ownership: a pooled request belongs to the caller until Submit
+// accepts it. If Submit reports false (queue full), the caller still
+// owns the request and may retry it later.
+func (m *Memory) NewRequest() *Request {
+	return m.sh.get()
+}

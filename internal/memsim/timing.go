@@ -10,6 +10,9 @@ type Timing struct {
 	TREFI  int64 // refresh interval
 	TBURST int64 // data bus occupancy per 64-byte transfer
 	TFAW   int64 // four-activation window, per rank
+	TWR    int64 // write recovery: last write data to precharge, same bank
+	TWTR   int64 // write-to-read turnaround, same bank (tWTR_L)
+	TWTRS  int64 // write-to-read turnaround, different bank (tWTR_S)
 }
 
 // DDR4 returns the paper's Table 2 parameters (14-14-14 ns, tRC 45 ns,
@@ -24,6 +27,9 @@ func DDR4() Timing {
 		TREFI:  24960, // 7.8 us
 		TBURST: 8,     // 2.5 ns
 		TFAW:   96,    // 30 ns
+		TWR:    48,    // 15 ns
+		TWTR:   24,    // 7.5 ns (tWTR_L)
+		TWTRS:  8,     // 2.5 ns (tWTR_S)
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/memsim"
 )
 
@@ -35,9 +36,11 @@ type demandGate struct {
 	s *System
 }
 
-var _ interface {
-	Submit(*memsim.Request) bool
-} = demandGate{}
+var _ cpu.Memory = demandGate{}
+
+// NewRequest implements cpu.Memory by handing out pooled requests
+// from the underlying memory system.
+func (g demandGate) NewRequest() *memsim.Request { return g.s.mem.NewRequest() }
 
 // Submit implements cpu.Memory.
 func (g demandGate) Submit(r *memsim.Request) bool {
@@ -101,8 +104,11 @@ func (s *System) performSwap(aggPhys uint32, at int64) {
 		loc := s.cfg.Mem.RowLoc(phys)
 		for col := 0; col < lines; col++ {
 			loc.Col = col
-			s.mem.Submit(&memsim.Request{Line: s.cfg.Mem.Encode(loc), Kind: memsim.MetaRead, Arrive: at})
-			s.mem.Submit(&memsim.Request{Line: s.cfg.Mem.Encode(loc), Kind: memsim.MetaWrite, Arrive: at})
+			for _, kind := range [...]memsim.Kind{memsim.MetaRead, memsim.MetaWrite} {
+				r := s.mem.NewRequest()
+				r.Line, r.Kind, r.Arrive = s.cfg.Mem.Encode(loc), kind, at
+				s.mem.Submit(r)
+			}
 		}
 	}
 }

@@ -443,7 +443,9 @@ func (s *System) submitMeta(off uint64, kind memsim.Kind) {
 	} else {
 		line = off / dram.LineBytes
 	}
-	s.mem.Submit(&memsim.Request{Line: line, Kind: kind, Arrive: s.now})
+	r := s.mem.NewRequest()
+	r.Line, r.Kind, r.Arrive = line, kind, s.now
+	s.mem.Submit(r) // metadata traffic is never refused
 }
 
 // onACT is the controller's activation hook: it routes the activation
@@ -502,11 +504,9 @@ func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 	default:
 		for _, victim := range s.cfg.Mem.Victims(row, s.cfg.Blast) {
 			loc := s.cfg.Mem.RowLoc(victim)
-			s.mem.Submit(&memsim.Request{
-				Line:   s.cfg.Mem.Encode(loc),
-				Kind:   memsim.MitigAct,
-				Arrive: at,
-			})
+			r := s.mem.NewRequest()
+			r.Line, r.Kind, r.Arrive = s.cfg.Mem.Encode(loc), memsim.MitigAct, at
+			s.mem.Submit(r) // mitigation activations are never refused
 		}
 	}
 }

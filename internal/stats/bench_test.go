@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTestFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/memsim
+cpu: some CPU @ 3.20GHz
+BenchmarkChannelThroughput-8 	 2274300	      1084 ns/op	     102 B/op	       1 allocs/op
+BenchmarkRowHitStream      	 1491654	      1381.5 ns/op
+PASS
+ok  	repro/internal/memsim	4.861s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(got), got)
+	}
+	ct, ok := got["BenchmarkChannelThroughput"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %+v", got)
+	}
+	if ct.N != 2274300 || ct.NsPerOp != 1084 || ct.BytesPerOp != 102 || ct.AllocsPerOp != 1 {
+		t.Fatalf("ChannelThroughput = %+v", ct)
+	}
+	rh := got["BenchmarkRowHitStream"]
+	if rh.NsPerOp != 1381.5 {
+		t.Fatalf("RowHitStream ns/op = %v", rh.NsPerOp)
+	}
+	// No -benchmem: allocation columns marked absent.
+	if rh.BytesPerOp != -1 || rh.AllocsPerOp != -1 {
+		t.Fatalf("RowHitStream allocs = %+v, want absent (-1)", rh)
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := map[string]BenchResult{
+		"BenchmarkA":          {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkB":          {NsPerOp: 1000, AllocsPerOp: 2},
+		"BenchmarkC":          {NsPerOp: 1000, AllocsPerOp: -1},
+		"BenchmarkD":          {NsPerOp: 1000, AllocsPerOp: 1_000_000},
+		"BenchmarkE":          {NsPerOp: 1000, AllocsPerOp: 1_000_000},
+		"BenchmarkOnlyInBase": {NsPerOp: 5},
+	}
+	cur := map[string]BenchResult{
+		"BenchmarkA":         {NsPerOp: 1100, AllocsPerOp: 0},         // +10%: inside tolerance
+		"BenchmarkB":         {NsPerOp: 900, AllocsPerOp: 3},          // faster but allocates more
+		"BenchmarkC":         {NsPerOp: 1300, AllocsPerOp: 0},         // +30%: over tolerance
+		"BenchmarkD":         {NsPerOp: 1000, AllocsPerOp: 1_000_900}, // within 0.1% jitter slack
+		"BenchmarkE":         {NsPerOp: 1000, AllocsPerOp: 1_002_000}, // beyond the slack
+		"BenchmarkOnlyInCur": {NsPerOp: 5},
+	}
+	deltas := CompareBench(base, cur, 0.25)
+	if len(deltas) != 5 {
+		t.Fatalf("compared %d benchmarks, want 5 (intersection): %+v", len(deltas), deltas)
+	}
+	byName := map[string]BenchDelta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["BenchmarkA"]; d.Regressed {
+		t.Fatalf("A regressed within tolerance: %+v", d)
+	}
+	if d := byName["BenchmarkB"]; !d.Regressed || !strings.Contains(d.Reason, "allocs") {
+		t.Fatalf("B allocation regression missed: %+v", d)
+	}
+	if d := byName["BenchmarkC"]; !d.Regressed || !strings.Contains(d.Reason, "ns/op") {
+		t.Fatalf("C time regression missed: %+v", d)
+	}
+	if r := byName["BenchmarkC"].Ratio; r != 1.3 {
+		t.Fatalf("C ratio = %v, want 1.3", r)
+	}
+	if d := byName["BenchmarkD"]; d.Regressed {
+		t.Fatalf("D regressed within the allocation jitter slack: %+v", d)
+	}
+	if d := byName["BenchmarkE"]; !d.Regressed || !strings.Contains(d.Reason, "allocs") {
+		t.Fatalf("E allocation regression beyond slack missed: %+v", d)
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	cur := map[string]BenchResult{"BenchmarkX": {N: 10, NsPerOp: 250, AllocsPerOp: 0, BytesPerOp: 0}}
+	prev := map[string]BenchResult{"BenchmarkX": {N: 5, NsPerOp: 1000, AllocsPerOp: 1, BytesPerOp: 64}}
+	if err := WriteBenchFile(path, cur, prev); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Benchmarks["BenchmarkX"].NsPerOp != 250 {
+		t.Fatalf("benchmarks = %+v", f.Benchmarks)
+	}
+	if f.Previous["BenchmarkX"].NsPerOp != 1000 {
+		t.Fatalf("previous = %+v", f.Previous)
+	}
+	if s := f.Speedup["BenchmarkX"]; s != 4 {
+		t.Fatalf("speedup = %v, want 4", s)
+	}
+}
+
+func TestLoadBenchFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeTestFile(path, `{"schema":"other/v9","benchmarks":{}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
