@@ -3,14 +3,14 @@
 GO       ?= go
 SCALE    ?= 64
 BENCHOUT ?= BENCH_pr1.json
-BASELINE ?= BENCH_4.json
+BASELINE ?= BENCH_5.json
 # Fractional slowdown tolerated by bench-compare before it fails.
 BENCHTOL ?= 0.40
 # Optional prior `go test -bench` text output to embed in the baseline
 # (records the speedup the current tree delivers over it).
 PREV     ?=
 
-.PHONY: all build test check bench bench-smoke bench-baseline bench-compare bench-json figures clean
+.PHONY: all build test check bench bench-smoke bench-baseline bench-compare bench-json figures profile clean
 
 all: build test
 
@@ -67,7 +67,21 @@ bench-json:
 figures:
 	$(GO) run ./cmd/experiments all
 
-# clean removes generated run artifacts but keeps the committed
-# benchmark baseline the perf gate compares against.
+# profile captures CPU and heap profiles of the Figure 5 sweep (the
+# representative hot path: four workloads x four trackers) and prints
+# the top entries of each. Artifacts land in ./profiles for deeper
+# `go tool pprof` sessions.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure5$$' -benchtime 3x \
+		-cpuprofile profiles/fig5.cpu.pprof -memprofile profiles/fig5.mem.pprof \
+		-o profiles/fig5.test .
+	$(GO) tool pprof -top -nodecount 15 profiles/fig5.test profiles/fig5.cpu.pprof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space profiles/fig5.test profiles/fig5.mem.pprof
+
+# clean removes generated run artifacts but keeps the benchmark
+# baselines the perf gate compares against (current and committed
+# historical ones).
 clean:
-	rm -f $(filter-out $(BASELINE),$(wildcard BENCH_*.json))
+	rm -f $(filter-out $(shell git ls-files 'BENCH_*.json') $(BASELINE),$(wildcard BENCH_*.json))
+	rm -rf profiles

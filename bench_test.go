@@ -18,8 +18,10 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/harness"
 	"repro/internal/power"
 	"repro/internal/rh"
+	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/track"
 )
@@ -294,6 +296,67 @@ func BenchmarkAblationRCCReplacement(b *testing.B) {
 		lru := run(true)
 		b.ReportMetric(srrip*100, "srrip-hit%")
 		b.ReportMetric(lru*100, "lru-hit%")
+	}
+}
+
+// campaignSweeps is a miniature `experiments all`: two figure-style
+// sweeps (Figure 5's tracker comparison, Figure 8's ablation) that
+// share their baseline and hydra cells, run back to back like the CLI
+// runs targets. Small scale and two workloads keep one uncached pass
+// around a second so the cached/uncached pair stays benchmarkable.
+func campaignSweeps(b *testing.B, cache *harness.CellCache) {
+	b.Helper()
+	opts := exp.Options{
+		Scale:     512,
+		Workloads: []string{"parest", "GUPS"},
+		Cache:     cache,
+	}
+	fig5 := []exp.Variant{
+		{Name: "cra-64KB", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackCRA; c.CRACacheBytes = 64 * 1024 }},
+		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
+	}
+	fig8 := []exp.Variant{
+		{Name: "hydra-nogct", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydraNoGCT }},
+		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
+	}
+	o5 := opts
+	o5.Target = "bench-fig5"
+	if _, err := exp.Sweep(o5, "campaign fig5", fig5); err != nil {
+		b.Fatal(err)
+	}
+	o8 := opts
+	o8.Target = "bench-fig8"
+	if _, err := exp.Sweep(o8, "campaign fig8", fig8); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCampaignUncached measures the multi-figure campaign with
+// caching disabled: every cell simulates, including the baseline and
+// hydra cells both sweeps share. The cached variant below is the same
+// campaign; the ratio between the two is the result-cache speedup the
+// perf gate tracks. No ReportAllocs on this pair: campaign allocation
+// counts jitter with pool/watchdog goroutine scheduling.
+func BenchmarkCampaignUncached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		campaignSweeps(b, nil)
+	}
+}
+
+// BenchmarkCampaignCached measures the same campaign against a warm
+// in-memory cache (warmed once before the timer): all cells replay,
+// which is what the second-and-later targets of `experiments all` and
+// re-runs under -cache-dir see.
+func BenchmarkCampaignCached(b *testing.B) {
+	cache, err := harness.NewCellCache("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache.Decode = exp.DecodeResult
+	campaignSweeps(b, cache) // warm every cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaignSweeps(b, cache)
 	}
 }
 

@@ -10,9 +10,11 @@
 //
 //	go test -bench . -benchmem ./... | benchgate -compare BENCH_4.json [-tolerance 0.40]
 //
-// Only benchmarks present in both the baseline and the run are
-// compared. A run regresses when it is slower than the baseline by
-// more than the tolerance, or allocates more per op.
+// A run regresses when it is slower than the baseline by more than the
+// tolerance, or allocates more per op. Benchmarks absent from the
+// baseline are reported as new and never fail the gate (the next
+// `benchgate -write` absorbs them); benchmarks only in the baseline
+// are skipped.
 package main
 
 import (
@@ -26,7 +28,7 @@ import (
 func main() {
 	var (
 		write     = flag.Bool("write", false, "write a new baseline from stdin")
-		out       = flag.String("out", "BENCH_4.json", "baseline file to write")
+		out       = flag.String("out", "BENCH_5.json", "baseline file to write")
 		prev      = flag.String("prev", "", "prior go-test bench output to record as 'previous' (write mode)")
 		compare   = flag.String("compare", "", "baseline file to gate stdin against")
 		tolerance = flag.Float64("tolerance", 0.40, "allowed fractional time regression (compare mode)")
@@ -78,11 +80,22 @@ func run(write bool, out, prev, compare string, tolerance float64) error {
 		return err
 	}
 	deltas := stats.CompareBench(base.Benchmarks, current, tolerance)
-	if len(deltas) == 0 {
+	common := 0
+	for _, d := range deltas {
+		if !d.New {
+			common++
+		}
+	}
+	if common == 0 {
 		return fmt.Errorf("no benchmarks in common with %s", compare)
 	}
 	failed := false
 	for _, d := range deltas {
+		if d.New {
+			fmt.Printf("%-40s %24.1f ns/op  new (not in baseline)\n",
+				d.Name, d.Current.NsPerOp)
+			continue
+		}
 		status := "ok"
 		if d.Regressed {
 			status = "REGRESSED: " + d.Reason

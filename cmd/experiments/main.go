@@ -25,6 +25,12 @@
 //	                  this long (0 = no watchdog)
 //	-retries N        retry failed cells with a perturbed seed
 //	-chaos a,b        restrict the chaos target to the named scenarios
+//	-cache-dir DIR    persist the content-addressed result cache to DIR
+//	                  (schema hydra-cell-cache/v1) so identical cells
+//	                  replay across invocations
+//	-no-cache         disable result caching entirely (every cell
+//	                  simulates; the default keeps an in-memory cache
+//	                  that dedupes identical cells across targets)
 //	-cpuprofile FILE  write a pprof CPU profile
 //	-memprofile FILE  write a pprof heap profile
 //
@@ -72,6 +78,8 @@ func run(args []string) error {
 	stallTimeout := fs.Duration("stall-timeout", 0, "kill cells stalled this long (0 = no watchdog)")
 	retries := fs.Int("retries", 0, "retry failed cells with a perturbed seed")
 	chaos := fs.String("chaos", "", "comma-separated chaos scenarios (default: all built-ins)")
+	cacheDir := fs.String("cache-dir", "", "persist the result cache to this directory across runs")
+	noCache := fs.Bool("no-cache", false, "disable result caching (simulate every cell)")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile")
 	if err := cli.ParseError(fs.Parse(args)); err != nil {
@@ -102,6 +110,20 @@ func run(args []string) error {
 			fmt.Printf("[resuming: %d completed cells in %s]\n", n, *resume)
 		}
 		opts.Checkpoint = cp
+	}
+	if !*noCache {
+		// One cache across every target of this invocation: the shared
+		// in-memory tier is what lets `experiments all` simulate the
+		// common baseline cells once and replay them in every later
+		// figure. -cache-dir adds the cross-invocation disk tier.
+		cache, err := harness.NewCellCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cache.Decode = exp.DecodeResult
+		opts.Cache = cache
+	} else if *cacheDir != "" {
+		return cli.Usagef("-no-cache and -cache-dir are mutually exclusive")
 	}
 	var scenarios []string
 	if *chaos != "" {
@@ -144,6 +166,20 @@ func run(args []string) error {
 		if *jsonOut != "-" {
 			fmt.Println(format(rep))
 			fmt.Printf("[%s took %v]\n\n", target, elapsed.Round(time.Millisecond))
+		}
+	}
+
+	if opts.Cache != nil && *jsonOut != "-" {
+		if s := opts.Cache.Stats(); s.Hits+s.Misses > 0 {
+			fmt.Printf("[result cache: %d hits (%d mem, %d disk), %d misses, %d stored",
+				s.Hits, s.MemHits, s.DiskHits, s.Misses, s.Stores)
+			if opts.Cache.Dir() != "" {
+				fmt.Printf(", %d B read, %d B written", s.BytesRead, s.BytesWritten)
+			}
+			if s.CorruptDropped > 0 {
+				fmt.Printf(", %d corrupt entries dropped", s.CorruptDropped)
+			}
+			fmt.Println("]")
 		}
 	}
 

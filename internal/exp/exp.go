@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/memsim"
 	"repro/internal/obsv"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -62,6 +63,13 @@ type Options struct {
 	// Checkpoint, when non-nil, restores previously completed cells and
 	// records new ones, enabling -resume across interrupted campaigns.
 	Checkpoint *harness.Checkpoint
+	// Cache, when non-nil, memoizes cell results by content-addressed
+	// config hash (sim.Config.CacheKey): identical cells across targets
+	// of one process — e.g. the non-secure baseline every figure
+	// re-simulates — run once and replay everywhere else, and with a
+	// disk-backed cache across invocations too. The recorded per-cell
+	// wall-clock also drives longest-first campaign scheduling.
+	Cache *harness.CellCache
 }
 
 // SeedOf returns a pointer to seed, for Options.Seed literals.
@@ -144,22 +152,86 @@ func DecodeResult(key string, raw json.RawMessage) (any, error) {
 	return r, nil
 }
 
+// cellIdentity resolves a cell's content-addressed hash and static
+// cost estimate by building its full config outside the worker pool.
+// Mutate is arbitrary caller code and may panic; a panicking variant
+// must fail as its own isolated cell (with the stack captured by the
+// harness), not here — so this recovers and returns the zero identity,
+// leaving the cell uncacheable and default-ordered.
+func cellIdentity(o Options, p workload.Profile, v Variant) (hash string, est float64) {
+	defer func() {
+		if recover() != nil {
+			hash, est = "", 0
+		}
+	}()
+	cfg := o.baseConfig(p)
+	v.Mutate(&cfg)
+	hash, _ = cfg.CacheKey()
+	return hash, estCost(cfg)
+}
+
+// estCost is the static fallback cost model for LPT scheduling when
+// the cache has never timed a cell: simulated work is roughly cores ×
+// effective window length, weighted by how expensive the tracker makes
+// each activation (CRA's memory-resident counters dominate; Hydra adds
+// RCT traffic only past the GCT threshold). Scaled to pseudo-seconds
+// at a nominal 3.2 GHz core so the numbers mix with recorded
+// wall-clock; only the ordering matters.
+func estCost(cfg sim.Config) float64 {
+	window := float64(cfg.WindowCycles)
+	if window <= 0 {
+		window = float64(memsim.WindowCycles)
+	}
+	scale := cfg.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	weight := 1.0
+	switch cfg.Tracker {
+	case sim.TrackCRA:
+		weight = 2.5
+	case sim.TrackHydra, sim.TrackHydraNoGCT, sim.TrackHydraNoRCC:
+		weight = 1.5
+	case sim.TrackGraphene, sim.TrackOCPR:
+		weight = 1.3
+	case sim.TrackPARA:
+		weight = 1.1
+	}
+	return float64(cfg.Cores) * (window / scale) * weight / 3.2e9
+}
+
 // runMatrix executes every (variant x profile) simulation as a cell of
 // a resilient harness campaign and returns results[variant][workload]
-// plus the per-cell verdicts. A cell failure (error, panic, watchdog
-// kill, timeout — after retries) does not fail the matrix: the entry
-// is simply absent from the result maps and its CellStatus records the
-// error. Callers decide how much of the matrix they require.
-func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[string]map[string]sim.Result, []obsv.CellStatus, error) {
+// plus the per-cell verdicts and the cache traffic attributable to
+// this campaign (zero when o.Cache is nil). A cell failure (error,
+// panic, watchdog kill, timeout — after retries) does not fail the
+// matrix: the entry is simply absent from the result maps and its
+// CellStatus records the error. Callers decide how much of the matrix
+// they require.
+func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[string]map[string]sim.Result, []obsv.CellStatus, harness.CacheStats, error) {
 	if o.Checkpoint != nil && o.Checkpoint.Decode == nil {
 		o.Checkpoint.Decode = DecodeResult
+	}
+	if o.Cache != nil && o.Cache.Decode == nil {
+		o.Cache.Decode = DecodeResult
+	}
+	var statsBefore harness.CacheStats
+	if o.Cache != nil {
+		statsBefore = o.Cache.Stats()
 	}
 	var cells []harness.Cell
 	for _, v := range variants {
 		for _, p := range profiles {
 			v, p := v, p
+			var hash string
+			var est float64
+			if o.Cache != nil {
+				hash, est = cellIdentity(o, p, v)
+			}
 			cells = append(cells, harness.Cell{
-				Key: o.target() + "/" + v.Name + "/" + p.Name,
+				Key:      o.target() + "/" + v.Name + "/" + p.Name,
+				CacheKey: hash,
+				EstCost:  est,
 				Run: func(ctx context.Context, env harness.Env) (any, error) {
 					cfg := o.baseConfig(p)
 					v.Mutate(&cfg)
@@ -186,9 +258,10 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 		StallTimeout: o.StallTimeout,
 		Retries:      o.Retries,
 		Checkpoint:   o.Checkpoint,
+		Cache:        o.Cache,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, harness.CacheStats{}, err
 	}
 
 	out := make(map[string]map[string]sim.Result, len(variants))
@@ -213,9 +286,12 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 				st.Status = obsv.CellFailed
 				st.Error = r.Err.Error()
 			default:
-				if r.Restored {
+				switch {
+				case r.Cached:
+					st.Status = obsv.CellCached
+				case r.Restored:
 					st.Status = obsv.CellRestored
-				} else {
+				default:
 					st.Status = obsv.CellOK
 				}
 				res, ok := r.Value.(sim.Result)
@@ -229,7 +305,11 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 			statuses = append(statuses, st)
 		}
 	}
-	return out, statuses, nil
+	var cstats harness.CacheStats
+	if o.Cache != nil {
+		cstats = o.Cache.Stats().Delta(statsBefore)
+	}
+	return out, statuses, cstats, nil
 }
 
 // lookup fetches a completed cell from a matrix, failing with the
@@ -261,9 +341,13 @@ type PerfReport struct {
 	// snapshots alongside the normalized performance. Failed cells are
 	// absent.
 	Results map[string]map[string]sim.Result
-	// Cells records every campaign cell's verdict, including failed
-	// and checkpoint-restored cells.
+	// Cells records every campaign cell's verdict, including failed,
+	// checkpoint-restored and cache-replayed cells.
 	Cells []obsv.CellStatus
+	// Cache is the result-cache traffic of this sweep (zero value when
+	// no cache was configured): how many cells were replayed versus
+	// simulated, and the disk bytes moved.
+	Cache harness.CacheStats
 }
 
 // Sweep runs the non-secure baseline plus the given scheme variants
@@ -277,16 +361,18 @@ func Sweep(o Options, title string, schemes []Variant) (*PerfReport, error) {
 
 // perfReport runs baseline plus schemes and normalizes. Cells that
 // failed — or produced a non-positive cycle count, which would poison
-// the geomeans — are excluded from Norm and flagged in Cells; the
-// report only fails when no baseline cell survived, since then there
-// is nothing to normalize against.
+// the geomeans — are excluded from Norm and flagged in Cells; scheme
+// cells that simulated fine but lost their baseline (so there is
+// nothing to divide by) are marked baseline-missing, not failed; the
+// report only fails when no baseline cell survived at all, since then
+// there is nothing to normalize against.
 func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error) {
 	profiles, err := o.profiles()
 	if err != nil {
 		return nil, err
 	}
 	variants := append([]Variant{{Name: "baseline", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackNone }}}, schemes...)
-	res, cells, err := runMatrix(o, profiles, variants)
+	res, cells, cstats, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +383,7 @@ func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error)
 		for _, p := range profiles {
 			if r, ok := res[v.Name][p.Name]; ok && r.Cycles <= 0 {
 				delete(res[v.Name], p.Name)
-				failCell(cells, o.target()+"/"+v.Name+"/"+p.Name,
+				markCell(cells, o.target()+"/"+v.Name+"/"+p.Name, obsv.CellFailed,
 					fmt.Sprintf("exp: non-positive cycle count %d (empty run)", r.Cycles))
 			}
 		}
@@ -305,13 +391,21 @@ func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error)
 	if len(res["baseline"]) == 0 {
 		return nil, fmt.Errorf("exp: %s: every baseline cell failed; nothing to normalize against", title)
 	}
-	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}, Results: res, Cells: cells}
+	rep := &PerfReport{Title: title, Profiles: profiles, Norm: map[string]map[string]float64{}, Results: res, Cells: cells, Cache: cstats}
 	for _, v := range schemes {
 		rep.Schemes = append(rep.Schemes, v.Name)
 		rep.Norm[v.Name] = map[string]float64{}
 		for _, p := range profiles {
 			base, okb := res["baseline"][p.Name]
 			got, okg := res[v.Name][p.Name]
+			if okg && !okb {
+				// The scheme cell is healthy; it just has no denominator.
+				// A distinct status keeps "this scheme broke" separable
+				// from "the baseline broke" in chaos/resilience reports.
+				markCell(cells, o.target()+"/"+v.Name+"/"+p.Name, obsv.CellBaselineMissing,
+					fmt.Sprintf("exp: baseline cell for workload %s failed; cannot normalize", p.Name))
+				continue
+			}
 			if !okb || !okg {
 				continue
 			}
@@ -321,11 +415,11 @@ func perfReport(o Options, title string, schemes []Variant) (*PerfReport, error)
 	return rep, nil
 }
 
-// failCell flips the named cell's status to failed in place.
-func failCell(cells []obsv.CellStatus, key, msg string) {
+// markCell rewrites the named cell's status and error in place.
+func markCell(cells []obsv.CellStatus, key, status, msg string) {
 	for i := range cells {
 		if cells[i].Key == key {
-			cells[i].Status = obsv.CellFailed
+			cells[i].Status = status
 			cells[i].Error = msg
 			return
 		}

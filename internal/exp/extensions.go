@@ -72,7 +72,7 @@ func ExtensionDDR5(o Options) (*DDR5Report, error) {
 		{Name: "ddr5-base", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackNone; c.Mem = dram.DDR5() }},
 		{Name: "ddr5-hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mem = dram.DDR5() }},
 	}
-	res, cells, err := runMatrix(o, profiles, variants)
+	res, cells, _, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +222,7 @@ func ExtensionPolicies(o Options) (*PolicyReport, error) {
 		{Name: "rowswap", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mitigation = sim.MitigateRowSwap }},
 		{Name: "throttle", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra; c.Mitigation = sim.MitigateThrottle }},
 	}
-	res, cells, err := runMatrix(o, profiles, variants)
+	res, cells, _, err := runMatrix(o, profiles, variants)
 	if err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func Figure6(o Options) (*Figure6Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, cells, err := runMatrix(o, profiles, []Variant{
+	res, cells, _, err := runMatrix(o, profiles, []Variant{
 		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
 	})
 	if err != nil {

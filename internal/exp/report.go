@@ -78,5 +78,26 @@ func (r *PerfReport) runReport(out *obsv.Report) {
 		}
 		out.Workloads = append(out.Workloads, w)
 	}
+	// Surface the result-cache traffic next to the simulation metrics so
+	// a run report shows what was simulated versus replayed. Only when a
+	// cache saw traffic — cacheless runs keep their exact metric set.
+	if c := r.Cache; c.Hits+c.Misses+c.Stores > 0 {
+		counter := func(name string, v int64, unit string) {
+			agg[name] = obsv.Metric{Type: obsv.TypeCounter, Value: float64(v), Unit: unit}
+		}
+		counter("cache.hits", c.Hits, "cells")
+		counter("cache.mem_hits", c.MemHits, "cells")
+		counter("cache.disk_hits", c.DiskHits, "cells")
+		counter("cache.misses", c.Misses, "cells")
+		counter("cache.stores", c.Stores, "cells")
+		counter("cache.bytes_read", c.BytesRead, "bytes")
+		counter("cache.bytes_written", c.BytesWritten, "bytes")
+		if c.CorruptDropped > 0 {
+			counter("cache.corrupt_dropped", c.CorruptDropped, "entries")
+		}
+		if c.StoreErrors > 0 {
+			counter("cache.store_errors", c.StoreErrors, "entries")
+		}
+	}
 	out.Metrics = agg
 }

@@ -152,7 +152,7 @@ func Power(o Options) (*PowerReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, cells, err := runMatrix(o, profiles, []Variant{
+	res, cells, _, err := runMatrix(o, profiles, []Variant{
 		{Name: "hydra", Mutate: func(c *sim.Config) { c.Tracker = sim.TrackHydra }},
 	})
 	if err != nil {

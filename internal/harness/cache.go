@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CellCacheSchema identifies the on-disk cache entry format. Entries
+// with any other schema are ignored (and re-simulated), so the format
+// can evolve without a migration step.
+const CellCacheSchema = "hydra-cell-cache/v1"
+
+// cacheEntryFile is the on-disk layout of one cached cell: the content
+// hash it is addressed by, the cell key that first computed it (pure
+// provenance — many cell keys may share one hash), the wall-clock cost
+// of computing it, and the JSON-encoded value.
+type cacheEntryFile struct {
+	Schema string          `json:"schema"`
+	Hash   string          `json:"hash"`
+	Key    string          `json:"key"`
+	CostNs int64           `json:"cost_ns"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// CacheStats counts cache traffic. All fields accumulate over the
+// cache's lifetime; use Delta to attribute traffic to one campaign.
+type CacheStats struct {
+	Hits     int64 // lookups answered without running the cell
+	MemHits  int64 // ... from the in-memory tier
+	DiskHits int64 // ... decoded from the on-disk tier
+	Misses   int64 // lookups that fell through to simulation
+	Stores   int64 // newly computed cells recorded
+
+	BytesRead    int64 // on-disk entry bytes decoded on hits
+	BytesWritten int64 // on-disk entry bytes written on stores
+
+	CorruptDropped int64 // unreadable disk entries discarded (re-simulated)
+	StoreErrors    int64 // disk writes that failed (entry stays in memory)
+}
+
+// Delta returns s minus prev, field-wise.
+func (s CacheStats) Delta(prev CacheStats) CacheStats {
+	return CacheStats{
+		Hits:           s.Hits - prev.Hits,
+		MemHits:        s.MemHits - prev.MemHits,
+		DiskHits:       s.DiskHits - prev.DiskHits,
+		Misses:         s.Misses - prev.Misses,
+		Stores:         s.Stores - prev.Stores,
+		BytesRead:      s.BytesRead - prev.BytesRead,
+		BytesWritten:   s.BytesWritten - prev.BytesWritten,
+		CorruptDropped: s.CorruptDropped - prev.CorruptDropped,
+		StoreErrors:    s.StoreErrors - prev.StoreErrors,
+	}
+}
+
+type memEntry struct {
+	value any
+	cost  time.Duration
+}
+
+// CellCache is the content-addressed result cache under the campaign
+// runner. Cells are addressed by Cell.CacheKey — a canonical hash of
+// everything that determines the cell's outcome (see sim.Config
+// CacheKey) — so identical work is simulated once and replayed
+// everywhere else, within a run and, with a directory, across runs.
+//
+// Two tiers:
+//
+//   - the in-memory tier holds decoded values and dedupes identical
+//     cells within one process (e.g. the non-secure baseline shared by
+//     every figure of `experiments all`);
+//   - the optional on-disk tier (one JSON file per entry, written via
+//     the same atomic write-then-rename discipline as Checkpoint)
+//     survives across runs. Corrupt, truncated or foreign-schema
+//     entries are discarded and recomputed, never fatal.
+//
+// The cache also records each computed cell's wall-clock cost — by
+// content hash and by cell key — which the campaign runner uses to
+// order work longest-processing-time-first (see RunCampaign).
+//
+// Safe for concurrent use by campaign workers.
+type CellCache struct {
+	// Decode rebuilds a value from its stored JSON, exactly like
+	// Checkpoint.Decode (results cross the harness as `any`). When nil,
+	// on-disk entries cannot be rebuilt and count as misses; the
+	// in-memory tier still works.
+	Decode func(key string, raw json.RawMessage) (any, error)
+
+	dir string // "" = memory-only
+
+	mu        sync.Mutex
+	mem       map[string]memEntry
+	costByKey map[string]time.Duration
+	stats     CacheStats
+}
+
+// NewCellCache opens a cache. With a non-empty dir the on-disk tier is
+// enabled: the directory is created if missing and existing entries'
+// recorded costs are preloaded so the very first campaign of a process
+// can already schedule longest-first from prior runs' timings.
+func NewCellCache(dir string) (*CellCache, error) {
+	c := &CellCache{
+		dir:       dir,
+		mem:       make(map[string]memEntry),
+		costByKey: make(map[string]time.Duration),
+	}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: creating cache dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var ef cacheEntryFile
+		if json.Unmarshal(data, &ef) != nil || ef.Schema != CellCacheSchema || ef.Key == "" {
+			continue // corrupt or foreign; Lookup will discard it too
+		}
+		c.costByKey[ef.Key] = time.Duration(ef.CostNs)
+	}
+	return c, nil
+}
+
+// Dir returns the on-disk tier's directory ("" when memory-only).
+func (c *CellCache) Dir() string { return c.dir }
+
+// Len reports the number of entries in the in-memory tier.
+func (c *CellCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CellCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *CellCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Lookup resolves a content hash: the in-memory tier first, then the
+// on-disk tier (whose decoded value is promoted into memory). A
+// corrupt or undecodable disk entry is counted, discarded and reported
+// as a miss — the caller re-simulates and Store overwrites the entry.
+func (c *CellCache) Lookup(hash string) (any, bool) {
+	if hash == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	if e, ok := c.mem[hash]; ok {
+		c.stats.Hits++
+		c.stats.MemHits++
+		c.mu.Unlock()
+		return e.value, true
+	}
+	c.mu.Unlock()
+
+	if c.dir == "" || c.Decode == nil {
+		c.miss()
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.miss()
+		return nil, false
+	}
+	var ef cacheEntryFile
+	if err := json.Unmarshal(data, &ef); err != nil || ef.Schema != CellCacheSchema || ef.Hash != hash {
+		c.mu.Lock()
+		c.stats.CorruptDropped++
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	v, err := c.Decode(ef.Key, ef.Value)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.CorruptDropped++
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[hash] = memEntry{value: v, cost: time.Duration(ef.CostNs)}
+	if ef.Key != "" {
+		c.costByKey[ef.Key] = time.Duration(ef.CostNs)
+	}
+	c.stats.Hits++
+	c.stats.DiskHits++
+	c.stats.BytesRead += int64(len(data))
+	c.mu.Unlock()
+	return v, true
+}
+
+func (c *CellCache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+}
+
+// Cost returns the recorded wall-clock cost for a cell: exact when the
+// content hash was computed before (this process or, with a disk tier,
+// a prior run), otherwise the last cost recorded under the same cell
+// key (same target/variant/workload at different knobs — the right
+// prior for LPT ordering when a sweep's parameters change).
+func (c *CellCache) Cost(hash, key string) (time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem[hash]; ok && e.cost > 0 {
+		return e.cost, true
+	}
+	if d, ok := c.costByKey[key]; ok && d > 0 {
+		return d, true
+	}
+	return 0, false
+}
+
+// Store records a newly computed cell under its content hash, with the
+// wall-clock cost of the attempt that produced it. The value must be
+// JSON-marshalable when the disk tier is enabled. Disk-write failures
+// are counted and returned but leave the in-memory entry in place —
+// a full cache disk never fails a campaign.
+func (c *CellCache) Store(hash, key string, v any, cost time.Duration) error {
+	if hash == "" {
+		return nil
+	}
+	c.mu.Lock()
+	c.mem[hash] = memEntry{value: v, cost: cost}
+	if key != "" {
+		c.costByKey[key] = cost
+	}
+	c.stats.Stores++
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+
+	raw, err := json.Marshal(v)
+	if err != nil {
+		c.storeErr()
+		return fmt.Errorf("harness: encoding cache entry %q: %w", key, err)
+	}
+	data, err := json.Marshal(cacheEntryFile{
+		Schema: CellCacheSchema, Hash: hash, Key: key, CostNs: int64(cost), Value: raw,
+	})
+	if err != nil {
+		c.storeErr()
+		return fmt.Errorf("harness: encoding cache entry %q: %w", key, err)
+	}
+	if err := atomicWrite(c.path(hash), append(data, '\n')); err != nil {
+		c.storeErr()
+		return fmt.Errorf("harness: writing cache entry %q: %w", key, err)
+	}
+	c.mu.Lock()
+	c.stats.BytesWritten += int64(len(data)) + 1
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *CellCache) storeErr() {
+	c.mu.Lock()
+	c.stats.StoreErrors++
+	c.mu.Unlock()
+}
+
+// atomicWrite lands data at path via temp-file + fsync + rename, the
+// same crash discipline as Checkpoint.Store: a crash mid-write leaves
+// either the previous entry or none, never a torn file.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

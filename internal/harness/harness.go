@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,16 @@ type Cell struct {
 	// report progress via env.Progress. The returned value must be
 	// JSON-marshalable when checkpointing is enabled.
 	Run func(ctx context.Context, env Env) (any, error)
+	// CacheKey is the cell's content-addressed identity — a hash of
+	// everything that determines its outcome (see sim.Config.CacheKey).
+	// Empty means uncacheable: the cell always runs. Unlike Key, cache
+	// keys may repeat within a campaign (identical cells dedupe against
+	// each other: the first computes, the rest replay).
+	CacheKey string
+	// EstCost is a static relative cost estimate used to order work
+	// longest-first when the cache has no recorded timing for this cell.
+	// Unitless; only comparisons between cells of one campaign matter.
+	EstCost float64
 }
 
 // CellResult is the verdict for one cell.
@@ -81,6 +92,7 @@ type CellResult struct {
 	Panicked bool  // at least one attempt panicked
 	Stalled  bool  // at least one attempt was killed by the watchdog
 	Restored bool  // value came from the checkpoint; Run never called
+	Cached   bool  // value replayed from the result cache; Run never called
 	Elapsed  time.Duration
 }
 
@@ -102,6 +114,12 @@ type Options struct {
 	// Checkpoint, when non-nil, restores completed cells before running
 	// and stores each newly completed cell.
 	Checkpoint *Checkpoint
+	// Cache, when non-nil, resolves cells by CacheKey before the workers
+	// start (hits never enter the pool) and records each newly computed
+	// cell's value and wall-clock cost. Cells left to run are ordered
+	// longest-processing-time-first using the cache's recorded costs,
+	// falling back to Cell.EstCost.
+	Cache *CellCache
 	// OnCellDone, when non-nil, observes each settled cell (restored,
 	// succeeded, or exhausted). Called from worker goroutines; must be
 	// safe for concurrent use.
@@ -139,6 +157,10 @@ func (o Options) backoff(attempt int) time.Duration {
 // reserved for malformed campaigns (duplicate or empty keys) and for
 // campaign-level cancellation, in which case the partial results are
 // still returned (unreached cells carry the cancellation error).
+//
+// With Options.Cache set, cells whose CacheKey resolves are settled
+// before the worker pool starts (Cached=true, Run never called) and
+// the remaining work is dispatched longest-processing-time-first.
 func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -158,9 +180,45 @@ func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult,
 	}
 
 	results := make([]CellResult, len(cells))
+
+	// Cache pre-pass: resolve content-addressed hits inline so they
+	// never occupy a worker, then order the remaining cells longest-
+	// processing-time-first (recorded cost when the cache has seen the
+	// cell or its key before, Cell.EstCost otherwise) to cut makespan —
+	// a long cell dispatched last would otherwise run alone at the tail
+	// while the rest of the pool idles.
+	pending := make([]int, 0, len(cells))
+	if opts.Cache != nil {
+		for i := range cells {
+			if cells[i].CacheKey != "" {
+				if v, ok := opts.Cache.Lookup(cells[i].CacheKey); ok {
+					results[i] = CellResult{Key: cells[i].Key, Value: v, Cached: true}
+					if opts.OnCellDone != nil {
+						opts.OnCellDone(results[i])
+					}
+					continue
+				}
+			}
+			pending = append(pending, i)
+		}
+		cost := make([]float64, len(cells))
+		for _, i := range pending {
+			if d, ok := opts.Cache.Cost(cells[i].CacheKey, cells[i].Key); ok {
+				cost[i] = d.Seconds()
+			} else {
+				cost[i] = cells[i].EstCost
+			}
+		}
+		sort.SliceStable(pending, func(a, b int) bool { return cost[pending[a]] > cost[pending[b]] })
+	} else {
+		for i := range cells {
+			pending = append(pending, i)
+		}
+	}
+
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(len(cells)); w++ {
+	for w := 0; w < opts.workers(len(pending)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -173,7 +231,7 @@ func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult,
 		}()
 	}
 feed:
-	for i := range cells {
+	for _, i := range pending {
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():
@@ -223,11 +281,21 @@ func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
 				return res
 			}
 		}
+		attemptStart := time.Now()
 		v, err := runAttempt(ctx, cell, attempt, opts)
+		attemptElapsed := time.Since(attemptStart)
 		res.Attempts = attempt + 1
 		if err == nil {
 			res.Value = v
 			res.Err = nil
+			if opts.Cache != nil && cell.CacheKey != "" && attempt == 0 {
+				// Best-effort: a failed disk write is counted in the cache
+				// stats but never fails a computed cell. Only first-attempt
+				// results are stored — callers may perturb retried cells
+				// (exp reseeds them), so a retry's value no longer matches
+				// the content hash computed from the original inputs.
+				_ = opts.Cache.Store(cell.CacheKey, cell.Key, v, attemptElapsed)
+			}
 			if opts.Checkpoint != nil {
 				if cerr := opts.Checkpoint.Store(cell.Key, v); cerr != nil {
 					res.Err = fmt.Errorf("harness: cell %q succeeded but checkpoint failed: %w", cell.Key, cerr)

@@ -60,6 +60,12 @@ const (
 	CellOK       = "ok"       // computed this run
 	CellFailed   = "failed"   // all attempts failed; Error holds the last one
 	CellRestored = "restored" // value came from a resume checkpoint
+	CellCached   = "cached"   // value replayed from the result cache
+	// CellBaselineMissing marks a scheme cell that simulated fine but
+	// could not be normalized because its baseline cell failed — a
+	// different signal than a failure of the cell itself (chaos and
+	// resilience reports need to tell them apart).
+	CellBaselineMissing = "baseline-missing"
 )
 
 // CellStatus is the per-cell verdict of a harness campaign: one entry
@@ -68,9 +74,10 @@ const (
 type CellStatus struct {
 	// Key identifies the cell, "target/variant/workload".
 	Key string `json:"key"`
-	// Status is one of CellOK, CellFailed, CellRestored.
+	// Status is one of the Cell* status constants above.
 	Status string `json:"status"`
-	// Error is the last attempt's error for failed cells.
+	// Error is the last attempt's error for failed cells, or the reason
+	// a baseline-missing cell could not be normalized.
 	Error string `json:"error,omitempty"`
 	// Attempts counts attempts actually made (0 when restored).
 	Attempts int `json:"attempts,omitempty"`
@@ -88,13 +95,17 @@ func (c CellStatus) Validate() error {
 		return fmt.Errorf("obsv: cell status missing key")
 	}
 	switch c.Status {
-	case CellOK, CellRestored:
+	case CellOK, CellRestored, CellCached:
 		if c.Error != "" {
 			return fmt.Errorf("obsv: cell %s: status %q with error %q", c.Key, c.Status, c.Error)
 		}
 	case CellFailed:
 		if c.Error == "" {
 			return fmt.Errorf("obsv: cell %s: failed without an error", c.Key)
+		}
+	case CellBaselineMissing:
+		if c.Error == "" {
+			return fmt.Errorf("obsv: cell %s: baseline-missing without a reason", c.Key)
 		}
 	default:
 		return fmt.Errorf("obsv: cell %s: unknown status %q", c.Key, c.Status)

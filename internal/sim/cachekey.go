@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CacheKeyVersion tags every cache key with the simulation-semantics
+// generation. Bump it whenever a change alters what any configuration
+// would compute — timing model fixes, tracker behaviour changes, new
+// result fields — so stale on-disk cache entries from older binaries
+// can never be replayed as current results. Purely structural changes
+// (refactors proven result-identical) keep the version.
+const CacheKeyVersion = "hydra-cell/v1"
+
+// Cacheable reports whether a run's outcome is fully determined by the
+// fields CanonicalString hashes. Runs with side-effecting attachments
+// are not: an Observer must see every activation (replaying a cached
+// Result would silently skip its callbacks), a Tracer must record the
+// event stream, and external trace sources are opaque readers whose
+// content cannot be hashed.
+func (c Config) Cacheable() bool {
+	return c.Observer == nil && c.Trace == nil && len(c.Traces) == 0
+}
+
+// CanonicalString renders every result-affecting field of the
+// configuration in a fixed order and format, independent of how the
+// Config value was built. It is the preimage of CacheKey and is
+// exposed for debugging cache behaviour ("why did these two cells not
+// dedupe?"). Ctx and Progress are excluded — they control cancellation
+// and watchdog reporting, never the computed Result — as are the
+// unhashable attachments that Cacheable gates on.
+func (c Config) CanonicalString() string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "version=%s\n", CacheKeyVersion)
+	fmt.Fprintf(&b, "mem=%d/%d/%d/%d/%d\n",
+		c.Mem.Channels, c.Mem.RanksPerChannel, c.Mem.BanksPerRank, c.Mem.RowsPerBank, c.Mem.RowBytes)
+	fmt.Fprintf(&b, "profile=%q/%q/%s/%d/%d/%s\n",
+		c.Profile.Name, string(c.Profile.Suite), g(c.Profile.MPKI),
+		c.Profile.UniqueRows, c.Profile.Hot250, g(c.Profile.ActsPerRow))
+	fmt.Fprintf(&b, "scale=%s keep=%t cores=%d trh=%d blast=%d seed=%d\n",
+		g(c.Scale), c.KeepStructSize, c.Cores, c.TRH, c.Blast, c.Seed)
+	fmt.Fprintf(&b, "tracker=%q cra=%d gct=%d rcc=%d tg=%d rand=%t para=%s meta=%t\n",
+		string(c.Tracker), c.CRACacheBytes, c.HydraGCTEntries, c.HydraRCCEntries,
+		c.HydraTG, c.HydraRandomize, g(c.PARAFailProb), c.TrackMetaRows)
+	fmt.Fprintf(&b, "wfrac=%s burst=%d window=%d policy=%q\n",
+		g(c.WriteFrac), c.Burst, c.WindowCycles, string(c.Mitigation))
+	if c.Attack == nil {
+		b.WriteString("attack=nil\n")
+	} else {
+		fmt.Fprintf(&b, "attack=%v/%d\n", c.Attack.Rows, c.Attack.Acts)
+	}
+	if c.Chaos == nil {
+		b.WriteString("chaos=nil\n")
+	} else {
+		fmt.Fprintf(&b, "chaos=%q/%s/%s/%s/%d\n",
+			c.Chaos.Name, g(c.Chaos.DropRefreshProb), g(c.Chaos.PostponeWindows),
+			g(c.Chaos.CorruptRCTFrac), c.Chaos.CorruptEveryActs)
+	}
+	return b.String()
+}
+
+// CacheKey returns the content-addressed identity of this run: the
+// hex SHA-256 of CanonicalString. Two configurations share a key
+// exactly when Run would compute bitwise-identical Results (same
+// knobs, same workload, same seed, same simulator generation), which
+// is what lets the campaign cache replay a baseline cell simulated
+// for one figure into every other figure that needs it. ok is false
+// for configurations whose outcome is not hashable (see Cacheable).
+func (c Config) CacheKey() (key string, ok bool) {
+	if !c.Cacheable() {
+		return "", false
+	}
+	sum := sha256.Sum256([]byte(c.CanonicalString()))
+	return hex.EncodeToString(sum[:]), true
+}

@@ -89,9 +89,10 @@ func benchName(s string) string {
 // BenchDelta is the comparison of one benchmark against its baseline.
 type BenchDelta struct {
 	Name      string
-	Baseline  BenchResult
+	Baseline  BenchResult // zero value when New
 	Current   BenchResult
-	Ratio     float64 // current ns/op over baseline ns/op
+	Ratio     float64 // current ns/op over baseline ns/op (0 when New)
+	New       bool    // present in current but absent from the baseline
 	Regressed bool
 	Reason    string
 }
@@ -112,20 +113,25 @@ func allocSlack(base int64) int64 {
 // regresses when its time exceeds the baseline by more than tolerance
 // (e.g. 0.25 = 25%), or when it allocates more per op than the
 // baseline recorded plus a 0.1% jitter slack (zero for benchmarks
-// under 1000 allocs/op, where counts are deterministic). Benchmarks
-// missing from either side are skipped: the gate compares what both
-// runs measured.
+// under 1000 allocs/op, where counts are deterministic). A benchmark
+// present in the current run but absent from the baseline is reported
+// as New and never regresses — newly added benchmarks must not force a
+// hand-edited baseline. Benchmarks only in the baseline are skipped:
+// the gate compares what both runs measured.
 func CompareBench(baseline, current map[string]BenchResult, tolerance float64) []BenchDelta {
-	names := make([]string, 0, len(baseline))
-	for name := range baseline {
-		if _, ok := current[name]; ok {
-			names = append(names, name)
-		}
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
 	}
 	sort.Strings(names)
 	deltas := make([]BenchDelta, 0, len(names))
 	for _, name := range names {
-		base, cur := baseline[name], current[name]
+		cur := current[name]
+		base, inBase := baseline[name]
+		if !inBase {
+			deltas = append(deltas, BenchDelta{Name: name, Current: cur, New: true})
+			continue
+		}
 		d := BenchDelta{Name: name, Baseline: base, Current: cur}
 		if base.NsPerOp > 0 {
 			d.Ratio = cur.NsPerOp / base.NsPerOp

@@ -64,12 +64,23 @@ func TestCompareBench(t *testing.T) {
 		"BenchmarkOnlyInCur": {NsPerOp: 5},
 	}
 	deltas := CompareBench(base, cur, 0.25)
-	if len(deltas) != 5 {
-		t.Fatalf("compared %d benchmarks, want 5 (intersection): %+v", len(deltas), deltas)
+	if len(deltas) != 6 {
+		t.Fatalf("compared %d benchmarks, want 6 (current side, incl. new): %+v", len(deltas), deltas)
 	}
 	byName := map[string]BenchDelta{}
 	for _, d := range deltas {
 		byName[d.Name] = d
+	}
+	if _, ok := byName["BenchmarkOnlyInBase"]; ok {
+		t.Fatalf("baseline-only benchmark should be skipped: %+v", byName["BenchmarkOnlyInBase"])
+	}
+	if d := byName["BenchmarkOnlyInCur"]; !d.New || d.Regressed {
+		t.Fatalf("current-only benchmark must be New and never regressed: %+v", d)
+	}
+	for _, d := range deltas {
+		if d.New && d.Name != "BenchmarkOnlyInCur" {
+			t.Fatalf("benchmark %s wrongly marked New", d.Name)
+		}
 	}
 	if d := byName["BenchmarkA"]; d.Regressed {
 		t.Fatalf("A regressed within tolerance: %+v", d)

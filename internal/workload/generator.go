@@ -85,10 +85,15 @@ type Stream struct {
 	coldNext   int // next cold row index to admit to the window
 	coldPerRow int // activations per residency (budget / passes)
 
-	// Pending intra-burst requests and writebacks.
-	pending []Request
-	recent  [16]uint64 // recent lines for writeback targets
-	recentN int
+	// Pending intra-burst requests and writebacks, drained from
+	// pendHead. Advancing a head index instead of re-slicing keeps the
+	// backing array's full capacity: once the queue drains it resets to
+	// pending[:0] and the next burst appends into the same allocation,
+	// so steady-state Next is allocation-free.
+	pending  []Request
+	pendHead int
+	recent   [16]uint64 // recent lines for writeback targets
+	recentN  int
 
 	gupsMode bool
 }
@@ -248,9 +253,13 @@ func (s *Stream) gap() int {
 // Next returns the next request. ok is false when the stream's
 // activation budget is exhausted.
 func (s *Stream) Next() (req Request, ok bool) {
-	if len(s.pending) > 0 {
-		req = s.pending[0]
-		s.pending = s.pending[1:]
+	if s.pendHead < len(s.pending) {
+		req = s.pending[s.pendHead]
+		s.pendHead++
+		if s.pendHead == len(s.pending) {
+			s.pending = s.pending[:0]
+			s.pendHead = 0
+		}
 		return req, true
 	}
 	if s.actsLeft <= 0 {
