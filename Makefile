@@ -3,14 +3,19 @@
 GO       ?= go
 SCALE    ?= 64
 BENCHOUT ?= BENCH_pr1.json
-BASELINE ?= BENCH_5.json
+# Baseline convention: committed baselines are numbered BENCH_<N>.json
+# and append-only — a PR that shifts performance on purpose commits a
+# new BENCH_<N+1>.json rather than rewriting an old one. bench-compare
+# gates against the newest committed baseline by default; override
+# with BASELINE=BENCH_4.json to compare against history.
+BASELINE ?= $(shell git ls-files 'BENCH_*.json' | sort -V | tail -1)
 # Fractional slowdown tolerated by bench-compare before it fails.
 BENCHTOL ?= 0.40
 # Optional prior `go test -bench` text output to embed in the baseline
 # (records the speedup the current tree delivers over it).
 PREV     ?=
 
-.PHONY: all build test check bench bench-smoke bench-baseline bench-compare bench-json figures profile clean
+.PHONY: all build test check docs-lint bench bench-smoke bench-baseline bench-compare bench-json figures profile clean
 
 all: build test
 
@@ -24,10 +29,16 @@ test:
 # Stricter pre-merge gate: static analysis plus the full test suite
 # under the race detector (the campaign harness is concurrent), plus a
 # single-iteration pass over every benchmark so a broken benchmark
-# cannot sit undetected until someone runs the perf gate.
-check: bench-smoke
+# cannot sit undetected until someone runs the perf gate, plus the
+# docs-lint keeping docs/TRACKERS.md in sync with internal/track.
+check: bench-smoke docs-lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# docs-lint fails if any exported rh.Tracker implementation in
+# internal/track is not mentioned in docs/TRACKERS.md.
+docs-lint:
+	$(GO) run ./cmd/trackerlint
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...

@@ -30,7 +30,7 @@ func main() { cli.Main("attacksim", run) }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
-	trackerName := fs.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|all")
+	trackerName := fs.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|start|mint|dapper|all")
 	trh := fs.Int("trh", 500, "row-hammer threshold")
 	acts := fs.Int("acts", 2_000_000, "demand activations per window")
 	windows := fs.Int("windows", 2, "tracking windows (reset between)")
@@ -78,7 +78,7 @@ func run(args []string) error {
 		},
 	}
 
-	names := []string{"hydra", "graphene", "ocpr", "para", "twice", "cat", "prohit", "mrloc"}
+	names := []string{"hydra", "graphene", "ocpr", "para", "twice", "cat", "prohit", "mrloc", "start", "mint", "dapper"}
 	if *trackerName != "all" {
 		names = []string{*trackerName}
 	}
@@ -123,6 +123,12 @@ func makeTracker(name string, geom track.Geometry, trh int) (rh.Tracker, error) 
 		return track.NewProHIT(geom, 1.0/16, 7)
 	case "mrloc":
 		return track.NewMRLoC(geom, 7)
+	case "start":
+		return track.NewSTART(geom, trh, 0)
+	case "mint":
+		return track.NewMINT(geom, trh, 0, 7)
+	case "dapper":
+		return track.NewDAPPER(geom, trh)
 	default:
 		return nil, fmt.Errorf("unknown tracker %q", name)
 	}

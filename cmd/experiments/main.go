@@ -6,12 +6,18 @@
 //
 // Targets: table1 table2 table3 table4 table5 fig1b fig2 fig5 fig6 fig7
 // fig8 fig9 fig10 power ext-rand ext-ddr5 ext-rowswap ext-policies
-// chaos all
+// chaos arena all
+//
+// The arena target sweeps every tracking scheme across the -thresholds
+// list (benign performance, adversarial security verdicts, adversarial
+// slowdown; see docs/TRACKERS.md). It is not part of "all": its cell
+// count scales with the threshold list, so it is run explicitly.
 //
 // Flags:
 //
 //	-scale N          footprint scale (1 = full 64 ms window; default 16)
 //	-trh N            row-hammer threshold (default 500)
+//	-thresholds a,b   arena T_RH sweep points (default 4800,2000,1000,500)
 //	-workloads a,b    restrict to the named workloads
 //	-par N            parallel simulations (default NumCPU)
 //	-seed N           workload seed (0 is a valid seed)
@@ -47,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,6 +74,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := fs.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
 	trh := fs.Int("trh", 500, "row-hammer threshold")
+	thresholds := fs.String("thresholds", "", "comma-separated arena T_RH sweep (default 4800,2000,1000,500)")
 	workloads := fs.String("workloads", "", "comma-separated workload subset")
 	par := fs.Int("par", 0, "parallel simulations (0 = NumCPU)")
 	seed := fs.Uint64("seed", 1, "workload seed (0 is a valid seed)")
@@ -125,6 +133,16 @@ func run(args []string) error {
 	} else if *cacheDir != "" {
 		return cli.Usagef("-no-cache and -cache-dir are mutually exclusive")
 	}
+	var sweepTRH []int
+	if *thresholds != "" {
+		for _, s := range strings.Split(*thresholds, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				return cli.Usagef("-thresholds: %q is not a threshold >= 2", s)
+			}
+			sweepTRH = append(sweepTRH, n)
+		}
+	}
 	var scenarios []string
 	if *chaos != "" {
 		scenarios = strings.Split(*chaos, ",")
@@ -137,7 +155,7 @@ func run(args []string) error {
 
 	targets := fs.Args()
 	if len(targets) == 0 {
-		return cli.Usagef("usage: experiments [flags] <target>...\ntargets: %s all",
+		return cli.Usagef("usage: experiments [flags] <target>...\ntargets: %s arena all",
 			strings.Join(allTargets, " "))
 	}
 	if len(targets) == 1 && targets[0] == "all" {
@@ -155,7 +173,7 @@ func run(args []string) error {
 		topts := opts
 		topts.Target = target
 		start := time.Now()
-		rep, err := runTarget(target, topts, scenarios)
+		rep, err := runTarget(target, topts, scenarios, sweepTRH)
 		if err != nil {
 			return fmt.Errorf("%s: %w", target, err)
 		}
@@ -225,7 +243,7 @@ func format(rep any) string {
 	return fmt.Sprint(rep)
 }
 
-func runTarget(target string, opts exp.Options, scenarios []string) (any, error) {
+func runTarget(target string, opts exp.Options, scenarios []string, thresholds []int) (any, error) {
 	switch target {
 	case "table1":
 		return exp.Table1Text(), nil
@@ -265,7 +283,9 @@ func runTarget(target string, opts exp.Options, scenarios []string) (any, error)
 		return exp.ExtensionPolicies(opts)
 	case "chaos":
 		return exp.Chaos(opts, scenarios)
+	case "arena":
+		return exp.Arena(opts, thresholds)
 	default:
-		return nil, cli.Usagef("unknown target %q (targets: %s all)", target, strings.Join(allTargets, " "))
+		return nil, cli.Usagef("unknown target %q (targets: %s arena all)", target, strings.Join(allTargets, " "))
 	}
 }

@@ -10,6 +10,7 @@
 //	hydrasim -workload 'custom:SPEC:20:16000:400:40'    # ad-hoc profile
 //
 // Trackers: none hydra hydra-nogct hydra-norcc graphene cra ocpr para
+// start mint dapper
 //
 // The -workload flag accepts a named profile from Table 3, "list" to
 // enumerate them, or an inline spec "name:suite:mpki:rows:hot:actsper"
@@ -45,7 +46,7 @@ func main() { cli.Main("hydrasim", run) }
 func run(args []string) error {
 	fs := flag.NewFlagSet("hydrasim", flag.ContinueOnError)
 	name := fs.String("workload", "parest", "workload name (see Table 3), 'list', or an inline spec name:suite:mpki:rows:hot:actsper")
-	tracker := fs.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para")
+	tracker := fs.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para|start|mint|dapper")
 	scale := fs.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
 	trh := fs.Int("trh", 500, "row-hammer threshold")
 	craKB := fs.Int("cra-cache-kb", 64, "CRA metadata-cache size in KB")

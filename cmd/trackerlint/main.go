@@ -1,0 +1,85 @@
+// Command trackerlint enforces the tracker-catalog invariant: every
+// exported rh.Tracker implementation in internal/track must be
+// documented in docs/TRACKERS.md. It scans the package sources for the
+// compile-time interface guards (`var _ rh.Tracker = (*X)(nil)`) and
+// fails, listing the missing schemes, when the catalog does not
+// mention one of the types. Run by `make check`.
+//
+// Usage:
+//
+//	trackerlint [-track DIR] [-doc FILE]
+//
+// Exit codes: 0 every tracker documented, 1 missing entries or I/O
+// failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/cli"
+)
+
+func main() { cli.Main("trackerlint", run) }
+
+// guardRe matches the compile-time interface guard every tracker in
+// internal/track declares.
+var guardRe = regexp.MustCompile(`var _ rh\.Tracker = \(\*([A-Z]\w*)\)\(nil\)`)
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trackerlint", flag.ContinueOnError)
+	trackDir := fs.String("track", "internal/track", "tracker package directory to scan")
+	docPath := fs.String("doc", "docs/TRACKERS.md", "tracker catalog that must mention every scheme")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
+
+	doc, err := os.ReadFile(*docPath)
+	if err != nil {
+		return err
+	}
+	files, err := filepath.Glob(filepath.Join(*trackDir, "*.go"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no Go files under %s", *trackDir)
+	}
+
+	byType := map[string]string{} // tracker type -> declaring file
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		for _, m := range guardRe.FindAllStringSubmatch(string(src), -1) {
+			byType[m[1]] = f
+		}
+	}
+	if len(byType) == 0 {
+		return fmt.Errorf("no rh.Tracker guards found under %s (pattern drift?)", *trackDir)
+	}
+
+	var missing []string
+	for name, file := range byType {
+		if !strings.Contains(string(doc), name) {
+			missing = append(missing, fmt.Sprintf("%s (declared in %s)", name, file))
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("%d tracker(s) not mentioned in %s:\n  %s\n"+
+			"every exported rh.Tracker implementation needs a catalog entry",
+			len(missing), *docPath, strings.Join(missing, "\n  "))
+	}
+	fmt.Printf("%d trackers documented in %s\n", len(byType), *docPath)
+	return nil
+}

@@ -192,9 +192,9 @@ func estCost(cfg sim.Config) float64 {
 		weight = 2.5
 	case sim.TrackHydra, sim.TrackHydraNoGCT, sim.TrackHydraNoRCC:
 		weight = 1.5
-	case sim.TrackGraphene, sim.TrackOCPR:
+	case sim.TrackGraphene, sim.TrackOCPR, sim.TrackSTART, sim.TrackDAPPER:
 		weight = 1.3
-	case sim.TrackPARA:
+	case sim.TrackPARA, sim.TrackMINT:
 		weight = 1.1
 	}
 	return float64(cfg.Cores) * (window / scale) * weight / 3.2e9

@@ -18,15 +18,18 @@ func Table1Text() string {
 	rows := storage.Table1(storage.PaperRank(), 250, 500, 1000, 32000)
 	var b strings.Builder
 	b.WriteString("Table 1: per-rank SRAM/CAM storage, 16 GB rank\n")
-	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s %12s\n",
-		"TRH", "Graphene", "TWiCE", "CAT", "D-CBF", "OCPR", "Hydra*")
+	fmt.Fprintf(&b, "%-8s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+		"TRH", "Graphene", "TWiCE", "CAT", "D-CBF", "OCPR", "START+", "MINT", "DAPPER", "Hydra*")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8d %12s %12s %12s %12s %12s %12s\n", r.TRH,
+		fmt.Fprintf(&b, "%-8d %12s %12s %12s %12s %12s %12s %12s %12s %12s\n", r.TRH,
 			storage.FormatBytes(r.Graphene), storage.FormatBytes(r.TWiCE),
 			storage.FormatBytes(r.CAT), storage.FormatBytes(r.DCBF),
-			storage.FormatBytes(r.OCPR), storage.FormatBytes(storage.HydraBytes(r.TRH)/2))
+			storage.FormatBytes(r.OCPR), storage.FormatBytes(r.START),
+			storage.FormatBytes(r.MINT), storage.FormatBytes(r.DAPPER),
+			storage.FormatBytes(storage.HydraBytes(r.TRH)/2))
 	}
 	b.WriteString("* Hydra is per memory controller; shown halved for a per-rank comparison.\n")
+	b.WriteString("+ START is borrowed LLC capacity (worst case), not dedicated SRAM.\n")
 	return b.String()
 }
 

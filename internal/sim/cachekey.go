@@ -14,7 +14,9 @@ import (
 // result fields — so stale on-disk cache entries from older binaries
 // can never be replayed as current results. Purely structural changes
 // (refactors proven result-identical) keep the version.
-const CacheKeyVersion = "hydra-cell/v1"
+// v2: added the START/MINT/DAPPER trackers and their config knobs
+// (STARTLLCBytes, MINTIntervalActs) to the hashed fields.
+const CacheKeyVersion = "hydra-cell/v2"
 
 // Cacheable reports whether a run's outcome is fully determined by the
 // fields CanonicalString hashes. Runs with side-effecting attachments
@@ -47,6 +49,7 @@ func (c Config) CanonicalString() string {
 	fmt.Fprintf(&b, "tracker=%q cra=%d gct=%d rcc=%d tg=%d rand=%t para=%s meta=%t\n",
 		string(c.Tracker), c.CRACacheBytes, c.HydraGCTEntries, c.HydraRCCEntries,
 		c.HydraTG, c.HydraRandomize, g(c.PARAFailProb), c.TrackMetaRows)
+	fmt.Fprintf(&b, "startllc=%d mintw=%d\n", c.STARTLLCBytes, c.MINTIntervalActs)
 	fmt.Fprintf(&b, "wfrac=%s burst=%d window=%d policy=%q\n",
 		g(c.WriteFrac), c.Burst, c.WindowCycles, string(c.Mitigation))
 	if c.Attack == nil {

@@ -117,6 +117,8 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"HydraTG":             func(c *Config) { c.HydraTG += 16 },
 		"HydraRandomize":      func(c *Config) { c.HydraRandomize = !c.HydraRandomize },
 		"PARAFailProb":        func(c *Config) { c.PARAFailProb *= 10 },
+		"STARTLLCBytes":       func(c *Config) { c.STARTLLCBytes += 4096 },
+		"MINTIntervalActs":    func(c *Config) { c.MINTIntervalActs += 8 },
 		"TrackMetaRows":       func(c *Config) { c.TrackMetaRows = !c.TrackMetaRows },
 		"WriteFrac":           func(c *Config) { c.WriteFrac += 0.125 },
 		"Burst":               func(c *Config) { c.Burst++ },
@@ -185,7 +187,7 @@ func TestCacheKeyCoversEveryConfigField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		{reflect.TypeOf(Config{}), 27},
+		{reflect.TypeOf(Config{}), 29},
 		{reflect.TypeOf(AttackSpec{}), 2},
 		{reflect.TypeOf(faults.Scenario{}), 6},
 		{reflect.TypeOf(dram.Config{}), 5},

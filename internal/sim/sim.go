@@ -41,6 +41,9 @@ const (
 	TrackCRA        TrackerKind = "cra"
 	TrackOCPR       TrackerKind = "ocpr"
 	TrackPARA       TrackerKind = "para"
+	TrackSTART      TrackerKind = "start"
+	TrackMINT       TrackerKind = "mint"
+	TrackDAPPER     TrackerKind = "dapper"
 )
 
 // Config describes one full-system run.
@@ -79,6 +82,14 @@ type Config struct {
 
 	// PARAFailProb sets PARA's per-row failure probability target.
 	PARAFailProb float64
+
+	// STARTLLCBytes bounds the LLC capacity START borrows for its
+	// pooled tracking table (0 = the guarantee sizing).
+	STARTLLCBytes int
+
+	// MINTIntervalActs sets MINT's selection-interval length W in
+	// activations (0 = the paper's default T_RH/4).
+	MINTIntervalActs int
 
 	// TrackMetaRows enables the RIT-ACT path: activations of reserved
 	// metadata rows route to ActivateMeta (on by default via Default).
@@ -419,6 +430,27 @@ func (s *System) makeTracker(cfg *Config) error {
 			fail = 1e-9
 		}
 		t, err := track.NewPARA(cfg.TRH, fail, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackSTART:
+		t, err := track.NewSTART(geom, cfg.TRH, cfg.STARTLLCBytes)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackMINT:
+		t, err := track.NewMINT(geom, cfg.TRH, cfg.MINTIntervalActs, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		s.tracker = t
+		return nil
+	case TrackDAPPER:
+		t, err := track.NewDAPPER(geom, cfg.TRH)
 		if err != nil {
 			return err
 		}

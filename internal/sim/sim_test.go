@@ -214,6 +214,23 @@ func TestOCPRAndPARARun(t *testing.T) {
 	}
 }
 
+// TestArenaTrackersRun smoke-tests the post-Hydra schemes end to end:
+// they must run under the full simulator and report their storage.
+func TestArenaTrackersRun(t *testing.T) {
+	for _, kind := range []TrackerKind{TrackSTART, TrackMINT, TrackDAPPER} {
+		res, err := Run(testConfig(hotProfile(), kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Mitigations == 0 {
+			t.Errorf("%s: no mitigations on hot workload", kind)
+		}
+		if res.SRAMBytes <= 0 {
+			t.Errorf("%s: SRAMBytes = %d", kind, res.SRAMBytes)
+		}
+	}
+}
+
 // TestTraceReplayMatchesGeneration records the synthetic streams and
 // replays them through the simulator: results must be identical.
 func TestTraceReplayMatchesGeneration(t *testing.T) {

@@ -88,6 +88,46 @@ func DCBFBytes(r Rank, trh int) int {
 	return 2 * perBank * r.Banks
 }
 
+// STARTBytes returns START's worst-case borrowed LLC capacity for a
+// rank (arXiv 2308.14889): a single pooled Misra-Gries table of
+// ceil(Banks*ACTmax / (T_RH/2)) entries at 8 B each. START dedicates
+// no SRAM; the figure is the LLC reservation that backs the security
+// guarantee (typical occupancy is far lower — that is the scheme's
+// selling point).
+func STARTBytes(r Rank, trh int) int {
+	t := trh / 2
+	if t < 1 {
+		t = 1
+	}
+	entries := (r.Banks*r.ACTMax + t - 1) / t
+	return entries * 8
+}
+
+// MINTBytes returns MINT's per-rank SRAM (arXiv 2407.16038): ~30 bits
+// per bank (interval position plus slot), rounded to 4 bytes —
+// threshold-independent, the minimalist point of the design.
+func MINTBytes(r Rank) int {
+	return 4 * r.Banks
+}
+
+// DAPPERBytes returns DAPPER's per-rank SRAM (arXiv 2501.18857): a
+// per-bank Misra-Gries table sized for the jittered early-mitigation
+// cut (effective threshold ~3/4 of T_RH/2), at 5 B per entry (4 as
+// Graphene plus a stored jitter byte).
+func DAPPERBytes(r Rank, trh int) int {
+	t := trh / 2
+	if t < 1 {
+		t = 1
+	}
+	jitterMax := t / 4
+	if jitterMax < 1 {
+		jitterMax = 1
+	}
+	effective := t - jitterMax + 1
+	perBank := (r.ACTMax + effective - 1) / effective
+	return perBank * r.Banks * 5
+}
+
 // HydraBytes returns Hydra's total SRAM for a whole system (Hydra's
 // structures are per memory controller, not per bank, so the cost is
 // independent of the bank count — the reason Table 5's DDR5 column is
@@ -96,7 +136,9 @@ func HydraBytes(trh int) int {
 	return core.ForThreshold(trh).Storage().TotalBytes
 }
 
-// Table1Row is one threshold row of Table 1 (bytes per rank).
+// Table1Row is one threshold row of Table 1 (bytes per rank). The
+// paper's columns plus the post-Hydra schemes (START, MINT, DAPPER)
+// the tracker arena adds.
 type Table1Row struct {
 	TRH      int
 	Graphene int
@@ -104,6 +146,9 @@ type Table1Row struct {
 	CAT      int
 	DCBF     int
 	OCPR     int
+	START    int
+	MINT     int
+	DAPPER   int
 }
 
 // Table1 computes the paper's Table 1 for the given thresholds.
@@ -117,6 +162,9 @@ func Table1(r Rank, thresholds ...int) []Table1Row {
 			CAT:      CATBytes(r, t),
 			DCBF:     DCBFBytes(r, t),
 			OCPR:     OCPRBytes(r, t),
+			START:    STARTBytes(r, t),
+			MINT:     MINTBytes(r),
+			DAPPER:   DAPPERBytes(r, t),
 		})
 	}
 	return rows
@@ -131,8 +179,10 @@ type Table5Row struct {
 }
 
 // Table5 computes the paper's Table 5 at the given threshold (500 in
-// the paper). Per-bank trackers double from DDR4 to DDR5; D-CBF and
-// Hydra do not.
+// the paper), extended with the arena's post-Hydra schemes. Per-bank
+// trackers (including START's pooled worst case and DAPPER) double
+// from DDR4 to DDR5; D-CBF and Hydra do not, and MINT grows only by
+// its 4 bytes per extra bank.
 func Table5(trh int) []Table5Row {
 	ddr4 := PaperRank()
 	ddr5 := ddr4
@@ -143,6 +193,9 @@ func Table5(trh int) []Table5Row {
 		{Scheme: "twice", DDR4: ranks * TWiCEBytes(ddr4, trh), DDR5: ranks * TWiCEBytes(ddr5, trh)},
 		{Scheme: "cat", DDR4: ranks * CATBytes(ddr4, trh), DDR5: ranks * CATBytes(ddr5, trh)},
 		{Scheme: "dcbf", DDR4: ranks * DCBFBytes(ddr4, trh), DDR5: ranks * DCBFBytes(ddr4, trh)},
+		{Scheme: "start", DDR4: ranks * STARTBytes(ddr4, trh), DDR5: ranks * STARTBytes(ddr5, trh)},
+		{Scheme: "mint", DDR4: ranks * MINTBytes(ddr4), DDR5: ranks * MINTBytes(ddr5)},
+		{Scheme: "dapper", DDR4: ranks * DAPPERBytes(ddr4, trh), DDR5: ranks * DAPPERBytes(ddr5, trh)},
 		{Scheme: "hydra", DDR4: HydraBytes(trh), DDR5: HydraBytes(trh)},
 	}
 }

@@ -88,7 +88,13 @@ func TestTable5Anchors(t *testing.T) {
 		"twice":    {4823450, 9646899},
 		"cat":      {3 * 1024 * 1024, 6 * 1024 * 1024},
 		"dcbf":     {int(1.5 * 1024 * 1024), int(1.5 * 1024 * 1024)},
-		"hydra":    {57856, 57856},
+		// Post-Hydra arena schemes (model calibrations, not paper cells):
+		// START = pooled worst-case LLC reservation, MINT = 4 B/bank,
+		// DAPPER = Graphene x 4/3 entries at 5 B each.
+		"start":  {1392640, 2785280},
+		"mint":   {128, 256},
+		"dapper": {1151520, 2303040},
+		"hydra":  {57856, 57856},
 	}
 	seen := map[string]bool{}
 	for _, row := range rows {
@@ -121,7 +127,7 @@ func TestPerBankSchemesDoubleOnDDR5(t *testing.T) {
 	rows := Table5(500)
 	for _, row := range rows {
 		switch row.Scheme {
-		case "graphene", "twice", "cat":
+		case "graphene", "twice", "cat", "start", "mint", "dapper":
 			if !near(row.DDR5, 2*row.DDR4, 0.01) {
 				t.Errorf("%s: DDR5 (%d) != 2x DDR4 (%d)", row.Scheme, row.DDR5, row.DDR4)
 			}

@@ -40,3 +40,28 @@ func (p *PARA) CollectInto(r *obsv.Registry) {
 	r.Count("para.mitigations", p.Mitigations)
 	r.Count("tracker.mitigations", p.Mitigations)
 }
+
+// CollectInto implements obsv.Source.
+func (s *START) CollectInto(r *obsv.Registry) {
+	r.Count("start.mitigations", s.Mitigations)
+	r.Count("tracker.mitigations", s.Mitigations)
+	r.Gauge("start.spillover", float64(s.pool.spillover))
+	r.Gauge("start.occupancy", float64(len(s.pool.entries)))
+}
+
+// CollectInto implements obsv.Source.
+func (m *MINT) CollectInto(r *obsv.Registry) {
+	r.Count("mint.mitigations", m.Mitigations)
+	r.Count("tracker.mitigations", m.Mitigations)
+}
+
+// CollectInto implements obsv.Source.
+func (d *DAPPER) CollectInto(r *obsv.Registry) {
+	r.Count("dapper.mitigations", d.Mitigations)
+	r.Count("tracker.mitigations", d.Mitigations)
+	var spill int64
+	for i := range d.banks {
+		spill += int64(d.banks[i].spillover)
+	}
+	r.Gauge("dapper.spillover", float64(spill))
+}
