@@ -36,9 +36,11 @@ check: bench-smoke docs-lint
 	$(GO) test -race ./...
 
 # docs-lint fails if any exported rh.Tracker implementation in
-# internal/track is not mentioned in docs/TRACKERS.md.
+# internal/track is not mentioned in docs/TRACKERS.md, or if the
+# metric catalog in docs/METRICS.md drifts from the registered names.
 docs-lint:
 	$(GO) run ./cmd/trackerlint
+	$(GO) run ./cmd/metriclint
 
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...

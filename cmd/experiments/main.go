@@ -37,6 +37,12 @@
 //	-no-cache         disable result caching entirely (every cell
 //	                  simulates; the default keeps an in-memory cache
 //	                  that dedupes identical cells across targets)
+//	-costs-from FILE  seed the longest-first scheduler with per-cell
+//	                  wall-clock costs from a prior run report
+//	-listen ADDR      serve live telemetry on ADDR (":0" = ephemeral):
+//	                  /metrics, /metrics.json, /events, /healthz,
+//	                  /debug/pprof — see docs/METRICS.md
+//	-progress         render a live campaign progress line on stderr
 //	-cpuprofile FILE  write a pprof CPU profile
 //	-memprofile FILE  write a pprof heap profile
 //
@@ -88,6 +94,9 @@ func run(args []string) error {
 	chaos := fs.String("chaos", "", "comma-separated chaos scenarios (default: all built-ins)")
 	cacheDir := fs.String("cache-dir", "", "persist the result cache to this directory across runs")
 	noCache := fs.Bool("no-cache", false, "disable result caching (simulate every cell)")
+	costsFrom := fs.String("costs-from", "", "seed scheduler cell costs from this prior run report")
+	listen := fs.String("listen", "", "serve live telemetry (/metrics, /events, pprof) on this address")
+	progress := fs.Bool("progress", false, "render a live campaign progress line on stderr")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile")
 	if err := cli.ParseError(fs.Parse(args)); err != nil {
@@ -133,6 +142,17 @@ func run(args []string) error {
 	} else if *cacheDir != "" {
 		return cli.Usagef("-no-cache and -cache-dir are mutually exclusive")
 	}
+	if *costsFrom != "" {
+		if opts.Cache == nil {
+			return cli.Usagef("-costs-from needs the result cache (drop -no-cache)")
+		}
+		costs, err := readCellCosts(*costsFrom)
+		if err != nil {
+			return err
+		}
+		opts.Cache.SeedCosts(costs)
+		fmt.Printf("[seeded %d cell costs from %s]\n", len(costs), *costsFrom)
+	}
 	var sweepTRH []int
 	if *thresholds != "" {
 		for _, s := range strings.Split(*thresholds, ",") {
@@ -168,6 +188,26 @@ func run(args []string) error {
 	}
 	defer stopProfiles()
 
+	// Live telemetry: one bus and one registry span every target of the
+	// invocation, so /events and /metrics describe the whole campaign.
+	stopProgress := func() {}
+	if *listen != "" || *progress {
+		opts.Bus = harness.NewBus(0)
+		opts.Live = obsv.NewRegistry()
+		defer opts.Bus.Close()
+		stopTelemetry, err := obsv.ListenFlag(*listen, obsv.ServerOptions{
+			Gather: opts.Live.Snapshot,
+			Events: opts.Bus,
+		})
+		if err != nil {
+			return err
+		}
+		defer stopTelemetry() //nolint:errcheck // best-effort shutdown on exit
+		if *progress {
+			stopProgress = startProgress(opts.Bus)
+		}
+	}
+
 	var reports []*obsv.Report
 	for _, target := range targets {
 		topts := opts
@@ -186,6 +226,8 @@ func run(args []string) error {
 			fmt.Printf("[%s took %v]\n\n", target, elapsed.Round(time.Millisecond))
 		}
 	}
+
+	stopProgress()
 
 	if opts.Cache != nil && *jsonOut != "-" {
 		if s := opts.Cache.Stats(); s.Hits+s.Misses > 0 {
@@ -212,6 +254,33 @@ func run(args []string) error {
 		}
 	}
 	return stopProfiles()
+}
+
+// readCellCosts extracts per-cell wall-clock costs from a prior run
+// report: every cell that actually simulated (cached and restored
+// replays carry no timing signal) contributes its ElapsedSec under its
+// key; across reports the largest observation wins — the conservative
+// prior for longest-first scheduling.
+func readCellCosts(path string) (map[string]time.Duration, error) {
+	f, err := obsv.ReadReportFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("costs-from: %w", err)
+	}
+	costs := map[string]time.Duration{}
+	for _, r := range f.Reports {
+		for _, c := range r.Cells {
+			if c.Status == obsv.CellCached || c.Status == obsv.CellRestored || c.ElapsedSec <= 0 {
+				continue
+			}
+			if d := time.Duration(c.ElapsedSec * float64(time.Second)); d > costs[c.Key] {
+				costs[c.Key] = d
+			}
+		}
+	}
+	if len(costs) == 0 {
+		return nil, fmt.Errorf("costs-from: no timed cells in %s", path)
+	}
+	return costs, nil
 }
 
 // writeTrace dumps the event ring as JSONL.

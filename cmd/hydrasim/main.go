@@ -19,7 +19,9 @@
 // -json writes a machine-readable run report (schema
 // hydra-run-report/v1), -trace a JSONL event trace, and
 // -cpuprofile/-memprofile pprof profiles; all are documented in
-// docs/METRICS.md.
+// docs/METRICS.md. -listen serves the telemetry plane (/healthz and
+// /debug/pprof during the run; /metrics carries the tracked run's
+// metrics once it completes).
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error.
 package main
@@ -57,6 +59,7 @@ func run(args []string) error {
 	jsonOut := fs.String("json", "", "write a run-report JSON file (\"-\" = stdout)")
 	traceOut := fs.String("trace", "", "write a JSONL event trace of the tracked run")
 	traceCap := fs.Int("trace-cap", 1<<20, "event-trace ring capacity")
+	listen := fs.String("listen", "", "serve live telemetry (/metrics, pprof) on this address")
 	cpuProf := fs.String("cpuprofile", "", "write a pprof CPU profile")
 	memProf := fs.String("memprofile", "", "write a pprof heap profile")
 	if err := cli.ParseError(fs.Parse(args)); err != nil {
@@ -80,6 +83,16 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProfiles()
+
+	// The telemetry server starts before the (blocking) simulation so
+	// /debug/pprof can profile it live; /metrics serves the tracked
+	// run's snapshot once the run completes.
+	live := obsv.NewRegistry()
+	stopTelemetry, err := obsv.ListenFlag(*listen, obsv.ServerOptions{Gather: live.Snapshot})
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry() //nolint:errcheck // best-effort shutdown on exit
 
 	cfg := sim.Default(p)
 	cfg.Scale = *scale
@@ -110,6 +123,7 @@ func run(args []string) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	live.Merge(res.Metrics)
 
 	fmt.Printf("workload   %s (%s)\n", res.Workload, p.Suite)
 	fmt.Printf("tracker    %s (SRAM %d bytes)\n", res.Tracker, res.SRAMBytes)

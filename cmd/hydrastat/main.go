@@ -1,0 +1,99 @@
+// Command hydrastat analyzes hydra-run-report/v1 files (written by
+// `experiments -json` and `hydrasim -json`) offline: per-target
+// summaries and figure-level regression diffs. It is the report-level
+// complement to cmd/benchgate: benchgate gates on `go test -bench`
+// wall-clock, hydrastat diff gates on what the simulated system did.
+//
+// Usage:
+//
+//	hydrastat summarize [-top N] report.json...
+//	hydrastat diff [-tolerance F] A.json B.json
+//
+// summarize prints, per report: the run envelope and parameters, the
+// campaign cell verdicts with the slowest cells ranked by wall-clock
+// (and their simulated-cycle rate), per-scheme suite geomeans, the
+// largest counters, and p50/p95/p99 for every histogram metric.
+//
+// diff matches reports by target and compares per-scheme suite
+// geomeans: a geomean that drops by more than -tolerance (fractional,
+// default 0.01) is a regression and makes the exit code 1. Aggregate
+// metric movements beyond the tolerance are listed as context.
+//
+// Exit codes: 0 success / no regression, 1 runtime failure or
+// regression, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cli"
+	"repro/internal/hydrastat"
+	"repro/internal/obsv"
+)
+
+func main() { cli.Main("hydrastat", run) }
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return cli.Usagef("usage: hydrastat <summarize|diff> [flags] <report.json>...")
+	}
+	switch args[0] {
+	case "summarize":
+		return runSummarize(args[1:])
+	case "diff":
+		return runDiff(args[1:])
+	default:
+		return cli.Usagef("unknown subcommand %q (want summarize or diff)", args[0])
+	}
+}
+
+func runSummarize(args []string) error {
+	fs := flag.NewFlagSet("hydrastat summarize", flag.ContinueOnError)
+	top := fs.Int("top", 5, "entries in the slowest-cells and top-counters lists")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return cli.Usagef("usage: hydrastat summarize [-top N] <report.json>...")
+	}
+	for i, path := range fs.Args() {
+		f, err := obsv.ReadReportFile(path)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if fs.NArg() > 1 {
+			fmt.Printf("== %s ==\n", path)
+		}
+		fmt.Print(hydrastat.Summarize(f, *top))
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("hydrastat diff", flag.ContinueOnError)
+	tolerance := fs.Float64("tolerance", 0.01, "fractional geomean drop tolerated before failing")
+	if err := cli.ParseError(fs.Parse(args)); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return cli.Usagef("usage: hydrastat diff [-tolerance F] <A.json> <B.json>")
+	}
+	a, err := obsv.ReadReportFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := obsv.ReadReportFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := hydrastat.Diff(a, b, *tolerance)
+	fmt.Print(d.Format())
+	if regs := d.Regressions(); len(regs) > 0 {
+		return fmt.Errorf("%d geomean regression(s) beyond %.1f%% tolerance", len(regs), *tolerance*100)
+	}
+	return nil
+}

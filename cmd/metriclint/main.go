@@ -1,0 +1,154 @@
+// Command metriclint enforces the metric-catalog invariant, the
+// companion of cmd/trackerlint: every metric name registered anywhere
+// in the tree must be documented in docs/METRICS.md, and every dotted
+// metric name in the catalog's tables must still be registered
+// somewhere — stale doc entries fail too, because the catalog promises
+// names are append-only and downstream dashboards key on them.
+//
+// Registration sites are found by scanning non-test Go sources for the
+// literal call shapes the codebase uses:
+//
+//	reg.Count("memsim.reads", …)    reg.Gauge("sim.ipc", …)
+//	reg.Histogram("memsim.readq_depth", …)    counter("cache.hits", …)
+//
+// A registration with a computed (non-literal) name cannot be checked
+// and is invisible to this linter — keep names literal. Doc entries
+// are the backticked dotted names in the first column of METRICS.md
+// tables.
+//
+// Usage:
+//
+//	metriclint [-src DIR] [-doc FILE]
+//
+// Exit codes: 0 catalog in sync, 1 missing/stale entries or I/O
+// failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/cli"
+)
+
+func main() { cli.Main("metriclint", run) }
+
+var (
+	// registerRe matches the literal metric-registration call shapes.
+	registerRe = regexp.MustCompile(`(?:\.(?:Count|Gauge|Histogram)|\bcounter)\(\s*"([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)"`)
+	// docNameRe matches a dotted metric name in the first column of a
+	// markdown table row.
+	docNameRe = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9_]*(?:\\.[a-z0-9_]+)+)`\\s*\\|")
+)
+
+func run(args []string) error {
+	fs_ := flag.NewFlagSet("metriclint", flag.ContinueOnError)
+	srcDir := fs_.String("src", ".", "source tree to scan for metric registrations")
+	docPath := fs_.String("doc", "docs/METRICS.md", "metric catalog that must stay in sync")
+	if err := cli.ParseError(fs_.Parse(args)); err != nil {
+		return err
+	}
+
+	registered, err := scanRegistrations(*srcDir)
+	if err != nil {
+		return err
+	}
+	if len(registered) == 0 {
+		return fmt.Errorf("no metric registrations found under %s (pattern drift?)", *srcDir)
+	}
+	documented, err := scanCatalog(*docPath)
+	if err != nil {
+		return err
+	}
+	if len(documented) == 0 {
+		return fmt.Errorf("no metric names found in %s (pattern drift?)", *docPath)
+	}
+
+	var missing, stale []string
+	for name, file := range registered {
+		if _, ok := documented[name]; !ok {
+			missing = append(missing, fmt.Sprintf("%s (registered in %s)", name, file))
+		}
+	}
+	for name := range documented {
+		if _, ok := registered[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	if len(missing)+len(stale) > 0 {
+		sort.Strings(missing)
+		sort.Strings(stale)
+		var b strings.Builder
+		if len(missing) > 0 {
+			fmt.Fprintf(&b, "%d metric(s) registered but not documented in %s:\n  %s\n",
+				len(missing), *docPath, strings.Join(missing, "\n  "))
+		}
+		if len(stale) > 0 {
+			fmt.Fprintf(&b, "%d documented metric(s) no longer registered anywhere:\n  %s\n",
+				len(stale), strings.Join(stale, "\n  "))
+		}
+		b.WriteString("metric names are append-only: document new ones, and only retire a doc row with its code")
+		return fmt.Errorf("%s", b.String())
+	}
+	fmt.Printf("%d metrics registered, all documented in %s\n", len(registered), *docPath)
+	return nil
+}
+
+// scanRegistrations walks the tree for non-test Go files and collects
+// literally registered metric names -> first declaring file.
+func scanRegistrations(root string) (map[string]string, error) {
+	found := map[string]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Skip VCS internals and vendored trees; everything else —
+			// internal/, cmd/, the root package — is fair game.
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range registerRe.FindAllStringSubmatch(string(src), -1) {
+			if _, ok := found[m[1]]; !ok {
+				found[m[1]] = path
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// scanCatalog collects the dotted metric names documented in the
+// catalog's table rows.
+func scanCatalog(path string) (map[string]bool, error) {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	found := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if m := docNameRe.FindStringSubmatch(line); m != nil {
+			found[m[1]] = true
+		}
+	}
+	return found, nil
+}

@@ -70,6 +70,17 @@ type Options struct {
 	// disk-backed cache across invocations too. The recorded per-cell
 	// wall-clock also drives longest-first campaign scheduling.
 	Cache *harness.CellCache
+	// Bus, when non-nil, receives a hydra-cell-event/v1 CellEvent for
+	// every cell lifecycle transition, tagged with scheme, workload and
+	// seed — the feed behind the live progress line and the /events
+	// NDJSON stream (obsv.Server). The caller owns the bus lifetime.
+	Bus *harness.Bus
+	// Live, when non-nil, accumulates every finished cell's metric
+	// snapshot as the campaign runs (counters summed, gauges maxed,
+	// histograms merged) plus the campaign.cells.* progress counters,
+	// so an HTTP /metrics scrape mid-campaign sees current totals
+	// instead of waiting for the run report.
+	Live *obsv.Registry
 }
 
 // SeedOf returns a pointer to seed, for Options.Seed literals.
@@ -200,6 +211,34 @@ func estCost(cfg sim.Config) float64 {
 	return float64(cfg.Cores) * (window / scale) * weight / 3.2e9
 }
 
+// liveObserver builds the per-cell completion hook that keeps the live
+// registry current: each settled cell bumps a campaign.cells.* counter
+// and, when it carries a simulation result, merges the run's metric
+// snapshot so /metrics scrapes mid-campaign reflect every finished
+// cell. Returns nil when no live registry is configured, keeping the
+// harness hot path free of the extra call.
+func (o Options) liveObserver() func(harness.CellResult) {
+	if o.Live == nil {
+		return nil
+	}
+	live := o.Live
+	return func(r harness.CellResult) {
+		switch {
+		case r.Err != nil:
+			live.Count("campaign.cells.failed", 1)
+		case r.Cached:
+			live.Count("campaign.cells.cached", 1)
+		case r.Restored:
+			live.Count("campaign.cells.restored", 1)
+		default:
+			live.Count("campaign.cells.ok", 1)
+		}
+		if res, ok := r.Value.(sim.Result); ok && res.Metrics != nil {
+			live.Merge(res.Metrics)
+		}
+	}
+}
+
 // runMatrix executes every (variant x profile) simulation as a cell of
 // a resilient harness campaign and returns results[variant][workload]
 // plus the per-cell verdicts and the cache traffic attributable to
@@ -232,6 +271,12 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 				Key:      o.target() + "/" + v.Name + "/" + p.Name,
 				CacheKey: hash,
 				EstCost:  est,
+				Tags: map[string]string{
+					"target":   o.target(),
+					"scheme":   v.Name,
+					"workload": p.Name,
+					"seed":     fmt.Sprint(o.seed()),
+				},
 				Run: func(ctx context.Context, env harness.Env) (any, error) {
 					cfg := o.baseConfig(p)
 					v.Mutate(&cfg)
@@ -259,6 +304,8 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 		Retries:      o.Retries,
 		Checkpoint:   o.Checkpoint,
 		Cache:        o.Cache,
+		Bus:          o.Bus,
+		OnCellDone:   o.liveObserver(),
 	})
 	if err != nil {
 		return nil, nil, harness.CacheStats{}, err
@@ -280,6 +327,9 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 				Panicked:   r.Panicked,
 				Stalled:    r.Stalled,
 				ElapsedSec: r.Elapsed.Seconds(),
+				// Harness-observed progress; overwritten below with the
+				// simulator's exact count when the cell completed.
+				Cycles: r.Cycles,
 			}
 			switch {
 			case r.Err != nil:
@@ -299,6 +349,9 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 					st.Status = obsv.CellFailed
 					st.Error = fmt.Sprintf("exp: cell value is %T, want sim.Result", r.Value)
 					break
+				}
+				if st.Status == obsv.CellOK {
+					st.Cycles = res.Cycles
 				}
 				out[v.Name][p.Name] = res
 			}

@@ -77,6 +77,10 @@ type Cell struct {
 	// keys may repeat within a campaign (identical cells dedupe against
 	// each other: the first computes, the rest replay).
 	CacheKey string
+	// Tags are opaque labels copied into every CellEvent the campaign
+	// publishes for this cell (the experiment layer sets scheme,
+	// workload and seed). Nil is fine; the harness never reads them.
+	Tags map[string]string
 	// EstCost is a static relative cost estimate used to order work
 	// longest-first when the cache has no recorded timing for this cell.
 	// Unitless; only comparisons between cells of one campaign matter.
@@ -94,6 +98,12 @@ type CellResult struct {
 	Restored bool  // value came from the checkpoint; Run never called
 	Cached   bool  // value replayed from the result cache; Run never called
 	Elapsed  time.Duration
+	// Cycles is the last simulated-cycle value the cell reported via
+	// Env.Progress — how far a failed cell got, and a harness-level
+	// cross-check for completed ones. Tracked only when the campaign
+	// has a Bus or a stall watchdog; 0 otherwise (and for cached or
+	// restored cells, which never run).
+	Cycles int64
 }
 
 // Options tunes a campaign.
@@ -124,6 +134,18 @@ type Options struct {
 	// succeeded, or exhausted). Called from worker goroutines; must be
 	// safe for concurrent use.
 	OnCellDone func(CellResult)
+	// Bus, when non-nil, receives a structured CellEvent for every cell
+	// lifecycle transition (queued, started, progress, retried, cached,
+	// restored, done, failed), for live progress rendering and the
+	// obsv.Server /events NDJSON stream. Publishing never blocks the
+	// worker pool. The campaign does not close the bus — the caller
+	// owns its lifetime (it may span several campaigns of one run).
+	Bus *Bus
+	// ProgressEvery throttles per-cell progress events on the bus
+	// (default 500ms). Progress events sample the cell's Env.Progress
+	// cycle counter; tighter intervals cost one time.Now per ~1k
+	// progress calls.
+	ProgressEvery time.Duration
 }
 
 func (o Options) workers(cells int) int {
@@ -193,6 +215,7 @@ func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult,
 			if cells[i].CacheKey != "" {
 				if v, ok := opts.Cache.Lookup(cells[i].CacheKey); ok {
 					results[i] = CellResult{Key: cells[i].Key, Value: v, Cached: true}
+					publishCell(opts.Bus, EvCached, cells[i], nil)
 					if opts.OnCellDone != nil {
 						opts.OnCellDone(results[i])
 					}
@@ -214,6 +237,9 @@ func RunCampaign(ctx context.Context, cells []Cell, opts Options) ([]CellResult,
 		for i := range cells {
 			pending = append(pending, i)
 		}
+	}
+	for _, i := range pending {
+		publishCell(opts.Bus, EvQueued, cells[i], nil)
 	}
 
 	idxCh := make(chan int)
@@ -253,6 +279,62 @@ feed:
 	return results, nil
 }
 
+// cellObs is the per-cell observation state behind Env.Progress: the
+// latest simulated-cycle value (for CellResult.Cycles and terminal
+// events) plus the throttle for progress events on the bus. Allocated
+// only when a campaign has a Bus or a stall watchdog, so a bare
+// campaign's progress callback stays a no-op.
+type cellObs struct {
+	cell  Cell
+	bus   *Bus
+	start time.Time
+	every time.Duration
+
+	cycles  atomic.Int64
+	calls   atomic.Int64
+	lastPub atomic.Int64 // unix nanos of the last progress event
+}
+
+// progressSampleStride bounds how often the progress path checks the
+// clock: one time.Now per this many Env.Progress calls. The simulator
+// reports progress per event-loop iteration, far too hot to timestamp
+// each call.
+const progressSampleStride = 1024
+
+// observe records a progress report and, on the bus path, publishes a
+// throttled progress event.
+func (o *cellObs) observe(cycle int64) {
+	o.cycles.Store(cycle) // progress reports are monotonic (watchdog enforces its own max)
+	if o.bus == nil {
+		return
+	}
+	if o.calls.Add(1)%progressSampleStride != 0 {
+		return
+	}
+	now := time.Now()
+	last := o.lastPub.Load()
+	if now.UnixNano()-last < int64(o.every) || !o.lastPub.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	o.bus.Publish(CellEvent{
+		Kind: EvProgress, Key: o.cell.Key, Tags: o.cell.Tags,
+		Cycles: cycle, ElapsedSec: now.Sub(o.start).Seconds(),
+	})
+}
+
+// publishCell emits one lifecycle event for a cell (no-op without a
+// bus); mut fills the kind-specific fields.
+func publishCell(b *Bus, kind string, cell Cell, mut func(*CellEvent)) {
+	if b == nil {
+		return
+	}
+	e := CellEvent{Kind: kind, Key: cell.Key, Tags: cell.Tags}
+	if mut != nil {
+		mut(&e)
+	}
+	b.Publish(e)
+}
+
 // runCell settles one cell: checkpoint restore, then up to 1+Retries
 // attempts with backoff.
 func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
@@ -266,8 +348,19 @@ func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
 			res.Value = v
 			res.Restored = true
 			res.Elapsed = time.Since(start)
+			publishCell(opts.Bus, EvRestored, cell, func(e *CellEvent) {
+				e.ElapsedSec = res.Elapsed.Seconds()
+			})
 			return res
 		}
+	}
+	var obs *cellObs
+	if opts.Bus != nil || opts.StallTimeout > 0 {
+		every := opts.ProgressEvery
+		if every <= 0 {
+			every = 500 * time.Millisecond
+		}
+		obs = &cellObs{cell: cell, bus: opts.Bus, start: start, every: every}
 	}
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -281,8 +374,16 @@ func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
 				return res
 			}
 		}
+		kind, at := EvStarted, attempt
+		if attempt > 0 {
+			kind = EvRetried
+		}
+		publishCell(opts.Bus, kind, cell, func(e *CellEvent) {
+			e.Attempt = at
+			e.ElapsedSec = time.Since(start).Seconds()
+		})
 		attemptStart := time.Now()
-		v, err := runAttempt(ctx, cell, attempt, opts)
+		v, err := runAttempt(ctx, cell, attempt, opts, obs)
 		attemptElapsed := time.Since(attemptStart)
 		res.Attempts = attempt + 1
 		if err == nil {
@@ -317,12 +418,27 @@ func runCell(ctx context.Context, cell Cell, opts Options) CellResult {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	if obs != nil {
+		res.Cycles = obs.cycles.Load()
+	}
+	kind := EvDone
+	if res.Err != nil {
+		kind = EvFailed
+	}
+	publishCell(opts.Bus, kind, cell, func(e *CellEvent) {
+		e.Attempt = res.Attempts - 1
+		e.Cycles = res.Cycles
+		e.ElapsedSec = res.Elapsed.Seconds()
+		if res.Err != nil {
+			e.Error = res.Err.Error()
+		}
+	})
 	return res
 }
 
 // runAttempt executes one attempt with panic recovery, wall-clock
-// timeout, and the stall watchdog.
-func runAttempt(ctx context.Context, cell Cell, attempt int, opts Options) (v any, err error) {
+// timeout, the stall watchdog, and the bus progress sampler.
+func runAttempt(ctx context.Context, cell Cell, attempt int, opts Options, obs *cellObs) (v any, err error) {
 	if opts.CellTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, opts.CellTimeout,
@@ -330,12 +446,19 @@ func runAttempt(ctx context.Context, cell Cell, attempt int, opts Options) (v an
 		defer cancel()
 	}
 	progress := func(int64) {}
+	if obs != nil {
+		progress = obs.observe
+	}
 	if opts.StallTimeout > 0 {
 		var cancel context.CancelCauseFunc
 		ctx, cancel = context.WithCancelCause(ctx)
 		wd := newWatchdog(opts.StallTimeout, cell.Key, cancel)
 		defer wd.stop()
-		progress = wd.report
+		inner := progress
+		progress = func(cycle int64) {
+			wd.report(cycle)
+			inner(cycle)
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {

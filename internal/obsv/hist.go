@@ -67,6 +67,58 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
+// Quantile estimates the p-quantile (0 <= p <= 1) of the recorded
+// samples by linear interpolation within the bucket holding the target
+// rank, the standard estimator for fixed-bucket histograms (what
+// Prometheus' histogram_quantile computes server-side). Bucket i spans
+// (Bounds[i-1], Bounds[i]]; the overflow bucket is interpolated up to
+// the observed Max, so the estimate never exceeds a real sample.
+// Returns 0 when the histogram is empty; p outside [0,1] is clamped.
+func (h *Hist) Quantile(p float64) float64 {
+	if h == nil || h.N == 0 || len(h.Counts) != len(h.Bounds)+1 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.N)
+	cum := int64(0)
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		// The target rank lands in this bucket: interpolate between its
+		// exclusive lower bound and inclusive upper bound.
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(h.Bounds[i-1])
+		}
+		// Interpolate up to the bucket bound, but never past the observed
+		// Max: the topmost occupied bucket usually ends well below its
+		// bound, and an estimate above every real sample is a lie.
+		hi := float64(h.Max)
+		if i < len(h.Bounds) && float64(h.Bounds[i]) < hi {
+			hi = float64(h.Bounds[i])
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(cum)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return float64(h.Max)
+}
+
 // Clone returns a deep copy.
 func (h Hist) Clone() Hist {
 	h.Bounds = append([]int64(nil), h.Bounds...)

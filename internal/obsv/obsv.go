@@ -22,6 +22,7 @@ package obsv
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // MetricType discriminates the snapshot representation of a metric.
@@ -112,10 +113,12 @@ func (m Metrics) Merge(other Metrics) {
 }
 
 // Registry collects metrics from simulation components into one named
-// snapshot. It is not safe for concurrent use; the harness builds one
-// registry per finished run (runs themselves parallelize freely since
-// collection happens after a run completes).
+// snapshot. It is safe for concurrent use: campaign workers may merge
+// finished-run snapshots into a shared live registry while an HTTP
+// scrape (obsv.Server) gathers it, so /metrics stays consistent
+// mid-campaign. Per-run registries still pay only uncontended locks.
 type Registry struct {
+	mu      sync.Mutex
 	metrics Metrics
 }
 
@@ -133,23 +136,29 @@ type Source interface {
 // Count registers a counter metric. Registering the same name again
 // accumulates, so per-channel or per-run sources can share names.
 func (r *Registry) Count(name string, v int64) {
+	r.mu.Lock()
 	m := r.metrics[name]
 	m.Type = TypeCounter
 	m.Value += float64(v)
 	r.metrics[name] = m
+	r.mu.Unlock()
 }
 
 // Gauge registers an instantaneous value (mean latency, occupancy
 // fraction). Re-registering overwrites.
 func (r *Registry) Gauge(name string, v float64) {
+	r.mu.Lock()
 	r.metrics[name] = Metric{Type: TypeGauge, Value: v}
+	r.mu.Unlock()
 }
 
 // Histogram registers a distribution. The histogram is copied, so the
 // source may keep mutating its own.
 func (r *Registry) Histogram(name string, h Hist) {
 	c := h.Clone()
+	r.mu.Lock()
 	r.metrics[name] = Metric{Type: TypeHistogram, Value: float64(h.N), Hist: &c}
+	r.mu.Unlock()
 }
 
 // Collect gathers every source into the registry.
@@ -161,18 +170,45 @@ func (r *Registry) Collect(sources ...Source) {
 	}
 }
 
-// Snapshot returns the collected metrics. The returned map is the
-// registry's own; callers treat it as immutable or clone it.
-func (r *Registry) Snapshot() Metrics { return r.metrics }
+// Merge accumulates a finished run's snapshot into the registry with
+// the same semantics as Metrics.Merge (counters add, gauges max,
+// histograms merge bucket-wise). This is how the campaign harness
+// keeps one live, scrapeable view across concurrently finishing cells.
+func (r *Registry) Merge(m Metrics) {
+	r.mu.Lock()
+	r.metrics.Merge(m)
+	r.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the collected metrics, safe to hold
+// while the registry keeps accumulating.
+func (r *Registry) Snapshot() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Metrics, len(r.metrics))
+	for name, m := range r.metrics {
+		if m.Hist != nil {
+			h := m.Hist.Clone()
+			m.Hist = &h
+		}
+		out[name] = m
+	}
+	return out
+}
 
 // Len reports how many metrics have been registered.
-func (r *Registry) Len() int { return len(r.metrics) }
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
 
 // String renders the snapshot compactly for logs and tests.
 func (r *Registry) String() string {
+	m := r.Snapshot()
 	s := ""
-	for _, name := range r.metrics.Names() {
-		s += fmt.Sprintf("%s: %s\n", name, r.metrics[name])
+	for _, name := range m.Names() {
+		s += fmt.Sprintf("%s: %s\n", name, m[name])
 	}
 	return s
 }

@@ -87,6 +87,14 @@ type CellStatus struct {
 	Stalled  bool `json:"stalled,omitempty"`
 	// ElapsedSec is the cell's wall-clock time including retries.
 	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+	// Cycles is the cell's simulated-cycle count: the simulator's own
+	// result for completed cells, the last watchdog-observed progress
+	// value for failed ones (how far it got before dying). Zero for
+	// cached/restored cells, which replay a value without simulating.
+	// Together with ElapsedSec this gives hydrastat a cycles-per-second
+	// rate to rank slow cells by, and run reports become a usable cost
+	// model for the LPT scheduler (see harness.CellCache.SeedCosts).
+	Cycles int64 `json:"cycles,omitempty"`
 }
 
 // Validate checks the cell's invariants.
