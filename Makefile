@@ -15,7 +15,7 @@ BENCHTOL ?= 0.40
 # (records the speedup the current tree delivers over it).
 PREV     ?=
 
-.PHONY: all build test check docs-lint bench bench-smoke bench-baseline bench-compare bench-json figures profile clean
+.PHONY: all build test check soak docs-lint bench bench-smoke bench-baseline bench-compare bench-json figures profile clean
 
 all: build test
 
@@ -34,6 +34,13 @@ test:
 check: bench-smoke docs-lint
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# soak runs the whole suite at the thorough test tier under the race
+# detector: full crash-point coverage across all four workloads, long
+# property-test loops (see internal/testutil). Slow by design; run it
+# before merging storage-plane or harness changes.
+soak:
+	TEST_INTENSITY=thorough $(GO) test -race -timeout 30m ./...
 
 # docs-lint fails if any exported rh.Tracker implementation in
 # internal/track is not mentioned in docs/TRACKERS.md, or if the

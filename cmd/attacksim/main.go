@@ -8,10 +8,12 @@
 //	attacksim -tracker hydra -trh 500 -acts 2000000
 //	attacksim -tracker all
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 130
+// interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -28,7 +30,7 @@ import (
 
 func main() { cli.Main("attacksim", run) }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
 	trackerName := fs.String("tracker", "all", "hydra|graphene|ocpr|para|twice|cat|prohit|mrloc|start|mint|dapper|all")
 	trh := fs.Int("trh", 500, "row-hammer threshold")
@@ -54,7 +56,7 @@ func run(args []string) error {
 	defer stopTelemetry() //nolint:errcheck // best-effort shutdown on exit
 
 	if *full {
-		if err := runFullSystem(*trh, *acts); err != nil {
+		if err := runFullSystem(ctx, *trh, *acts); err != nil {
 			return err
 		}
 		return stopProfiles()
@@ -91,6 +93,9 @@ func run(args []string) error {
 	broken := false
 	for _, name := range names {
 		for _, mk := range patterns {
+			if err := ctx.Err(); err != nil {
+				return err // interrupted between patterns
+			}
 			tr, err := makeTracker(name, geom, *trh)
 			if err != nil {
 				return cli.Usagef("%v", err)
@@ -143,7 +148,7 @@ func makeTracker(name string, geom track.Geometry, trh int) (rh.Tracker, error) 
 // runFullSystem drives a double-sided attack through the timing
 // simulator with background victim traffic and the oracle attached to
 // the controller's real activation stream.
-func runFullSystem(trh, acts int) error {
+func runFullSystem(ctx context.Context, trh, acts int) error {
 	mem := dram.Baseline()
 	victim := mem.GlobalRow(dram.Loc{Channel: 0, Bank: 3, Row: 70000})
 	oracle := attack.NewOracle(trh)
@@ -153,6 +158,7 @@ func runFullSystem(trh, acts int) error {
 		return err
 	}
 	cfg := sim.Default(p)
+	cfg.Ctx = ctx
 	cfg.Scale = 16
 	cfg.TRH = trh
 	cfg.KeepStructSize = true

@@ -34,6 +34,9 @@
 //	-cache-dir DIR    persist the content-addressed result cache to DIR
 //	                  (schema hydra-cell-cache/v1) so identical cells
 //	                  replay across invocations
+//	-cache-max-bytes N  byte budget for -cache-dir: least-recently-used
+//	                  entries are evicted until the tier fits (0 =
+//	                  unbounded; corrupt entries quarantine regardless)
 //	-no-cache         disable result caching entirely (every cell
 //	                  simulates; the default keeps an in-memory cache
 //	                  that dedupes identical cells across targets)
@@ -52,10 +55,13 @@
 // cells never abort a perf target: they are reported per cell in the
 // "cells" section and the remaining cells complete.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 130
+// interrupted (SIGINT/SIGTERM; the checkpoint named by -resume holds
+// every completed cell, so rerunning with the same flags resumes).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +82,7 @@ var allTargets = []string{"table1", "table2", "table3", "table4", "table5",
 	"fig1b", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "power",
 	"ext-rand", "ext-ddr5", "ext-rowswap", "ext-policies", "chaos"}
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	scale := fs.Float64("scale", 16, "footprint scale (1 = full 64 ms window)")
 	trh := fs.Int("trh", 500, "row-hammer threshold")
@@ -93,6 +99,7 @@ func run(args []string) error {
 	retries := fs.Int("retries", 0, "retry failed cells with a perturbed seed")
 	chaos := fs.String("chaos", "", "comma-separated chaos scenarios (default: all built-ins)")
 	cacheDir := fs.String("cache-dir", "", "persist the result cache to this directory across runs")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "byte budget for -cache-dir; least-recently-used entries are evicted (0 = unbounded)")
 	noCache := fs.Bool("no-cache", false, "disable result caching (simulate every cell)")
 	costsFrom := fs.String("costs-from", "", "seed scheduler cell costs from this prior run report")
 	listen := fs.String("listen", "", "serve live telemetry (/metrics, /events, pprof) on this address")
@@ -111,6 +118,7 @@ func run(args []string) error {
 		CellTimeout:  *cellTimeout,
 		StallTimeout: *stallTimeout,
 		Retries:      *retries,
+		Ctx:          ctx,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
@@ -122,6 +130,9 @@ func run(args []string) error {
 		cp, err := harness.OpenCheckpoint(*resume)
 		if err != nil {
 			return err
+		}
+		if why := cp.Recovered(); why != "" {
+			fmt.Fprintf(os.Stderr, "[warning: %s]\n", why)
 		}
 		if n := cp.Len(); n > 0 {
 			fmt.Printf("[resuming: %d completed cells in %s]\n", n, *resume)
@@ -138,6 +149,12 @@ func run(args []string) error {
 			return err
 		}
 		cache.Decode = exp.DecodeResult
+		if *cacheMaxBytes > 0 {
+			if *cacheDir == "" {
+				return cli.Usagef("-cache-max-bytes needs -cache-dir (the in-memory tier is unbudgeted)")
+			}
+			cache.SetMaxBytes(*cacheMaxBytes)
+		}
 		opts.Cache = cache
 	} else if *cacheDir != "" {
 		return cli.Usagef("-no-cache and -cache-dir are mutually exclusive")
@@ -237,7 +254,10 @@ func run(args []string) error {
 				fmt.Printf(", %d B read, %d B written", s.BytesRead, s.BytesWritten)
 			}
 			if s.CorruptDropped > 0 {
-				fmt.Printf(", %d corrupt entries dropped", s.CorruptDropped)
+				fmt.Printf(", %d corrupt entries dropped (%d quarantined)", s.CorruptDropped, s.Quarantined)
+			}
+			if s.Evicted > 0 {
+				fmt.Printf(", %d evicted", s.Evicted)
 			}
 			fmt.Println("]")
 		}

@@ -1,0 +1,141 @@
+//go:build !windows
+
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/harness"
+	"repro/internal/obsv"
+)
+
+// TestInterruptResumesIdentically is the end-to-end graceful-shutdown
+// check: a real experiments process is interrupted with SIGINT mid-
+// campaign and must exit 130 leaving a valid checkpoint; rerunning the
+// same command must announce the resume and produce a report that is —
+// after normalization — bitwise identical to an uninterrupted run's.
+func TestInterruptResumesIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Enough cells that the interrupt lands mid-campaign, few enough
+	// that the uninterrupted reference stays cheap.
+	baseArgs := func(cacheDir, ckpt, report string) []string {
+		return []string{
+			"-par", "1", "-scale", "16", "-seed", "1",
+			"-workloads", "parest,bwaves",
+			"-cache-dir", cacheDir, "-resume", ckpt, "-json", report,
+			"fig5",
+		}
+	}
+
+	// Reference: one clean, uninterrupted run.
+	refReport := filepath.Join(dir, "ref.json")
+	ref := exec.Command(bin, baseArgs(filepath.Join(dir, "cache-ref"), filepath.Join(dir, "ckpt-ref.json"), refReport)...)
+	if out, err := ref.CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	// Interrupted run: SIGINT as soon as the first cell has been
+	// checkpointed, so the campaign is provably mid-flight.
+	cacheDir := filepath.Join(dir, "cache")
+	ckpt := filepath.Join(dir, "ckpt.json")
+	report := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	interrupted := exec.Command(bin, baseArgs(cacheDir, ckpt, report)...)
+	interrupted.Stdout, interrupted.Stderr = &out, &out
+	if err := interrupted.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			interrupted.Process.Kill() //nolint:errcheck
+			t.Fatalf("no checkpoint after 60s; child output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := interrupted.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- interrupted.Wait() }()
+	select {
+	case <-waited:
+	case <-time.After(60 * time.Second):
+		interrupted.Process.Kill() //nolint:errcheck
+		t.Fatalf("child ignored SIGINT for 60s; output:\n%s", out.String())
+	}
+	if code := interrupted.ProcessState.ExitCode(); code != cli.ExitInterrupt {
+		t.Fatalf("interrupted run exited %d, want %d; output:\n%s", code, cli.ExitInterrupt, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted") {
+		t.Errorf("interrupted run did not say so; output:\n%s", out.String())
+	}
+	if _, err := os.Stat(report); !os.IsNotExist(err) {
+		t.Errorf("interrupted run left a report file (stat err %v); reports must be all-or-nothing", err)
+	}
+
+	// The surviving checkpoint must be valid and non-empty.
+	cp, err := harness.OpenCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint after SIGINT: %v", err)
+	}
+	if why := cp.Recovered(); why != "" {
+		t.Fatalf("checkpoint after SIGINT was corrupt: %s", why)
+	}
+	if cp.Len() == 0 {
+		t.Fatal("checkpoint after SIGINT holds no cells")
+	}
+
+	// Resume: same command, must pick up the checkpoint and finish.
+	resume := exec.Command(bin, baseArgs(cacheDir, ckpt, report)...)
+	resumeOut, err := resume.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resume run: %v\n%s", err, resumeOut)
+	}
+	if !strings.Contains(string(resumeOut), "[resuming:") {
+		t.Errorf("resume run did not announce the checkpoint; output:\n%s", resumeOut)
+	}
+
+	// The resumed report must match the uninterrupted reference exactly
+	// once operational noise (timestamps, cell provenance, cache
+	// traffic) is normalized away.
+	want := normalizedReport(t, refReport)
+	got := normalizedReport(t, report)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed report differs from uninterrupted reference:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func normalizedReport(t *testing.T, path string) []byte {
+	t.Helper()
+	f, err := obsv.ReadReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Normalize()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

@@ -23,10 +23,12 @@
 // /debug/pprof during the run; /metrics carries the tracked run's
 // metrics once it completes).
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 130
+// interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +47,7 @@ import (
 
 func main() { cli.Main("hydrasim", run) }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("hydrasim", flag.ContinueOnError)
 	name := fs.String("workload", "parest", "workload name (see Table 3), 'list', or an inline spec name:suite:mpki:rows:hot:actsper")
 	tracker := fs.String("tracker", "hydra", "tracker: none|hydra|hydra-nogct|hydra-norcc|graphene|cra|ocpr|para|start|mint|dapper")
@@ -95,6 +97,7 @@ func run(args []string) error {
 	defer stopTelemetry() //nolint:errcheck // best-effort shutdown on exit
 
 	cfg := sim.Default(p)
+	cfg.Ctx = ctx // SIGINT/SIGTERM aborts the run (exit 130)
 	cfg.Scale = *scale
 	cfg.TRH = *trh
 	cfg.Seed = *seed

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 
@@ -34,7 +35,7 @@ import (
 
 func main() { cli.Main("hydrastat", run) }
 
-func run(args []string) error {
+func run(_ context.Context, args []string) error {
 	if len(args) == 0 {
 		return cli.Usagef("usage: hydrastat <summarize|diff> [flags] <report.json>...")
 	}

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -47,7 +48,7 @@ var (
 	docNameRe = regexp.MustCompile("^\\|\\s*`([a-z][a-z0-9_]*(?:\\.[a-z0-9_]+)+)`\\s*\\|")
 )
 
-func run(args []string) error {
+func run(_ context.Context, args []string) error {
 	fs_ := flag.NewFlagSet("metriclint", flag.ContinueOnError)
 	srcDir := fs_.String("src", ".", "source tree to scan for metric registrations")
 	docPath := fs_.String("doc", "docs/METRICS.md", "metric catalog that must stay in sync")

@@ -8,10 +8,12 @@
 //	tracegen -workload parest -scale 16 -out /tmp/parest     # record
 //	tracegen -verify /tmp/parest                              # check
 //
-// Exit codes: 0 success, 1 runtime failure, 2 usage error.
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 130
+// interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +28,7 @@ import (
 
 func main() { cli.Main("tracegen", run) }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	name := fs.String("workload", "parest", "workload to record")
 	scale := fs.Float64("scale", 16, "footprint scale")
@@ -61,13 +63,13 @@ func run(args []string) error {
 	if *out == "" {
 		return cli.Usagef("-out directory required")
 	}
-	if err := record(*name, *scale, *cores, *seed, *out); err != nil {
+	if err := record(ctx, *name, *scale, *cores, *seed, *out); err != nil {
 		return err
 	}
 	return stopProfiles()
 }
 
-func record(name string, scale float64, cores int, seed uint64, out string) error {
+func record(ctx context.Context, name string, scale float64, cores int, seed uint64, out string) error {
 	p, err := workload.ByName(name)
 	if err != nil {
 		return err
@@ -82,6 +84,9 @@ func record(name string, scale float64, cores int, seed uint64, out string) erro
 	base.Seed = seed
 	var total int64
 	for core := 0; core < cores; core++ {
+		if err := ctx.Err(); err != nil {
+			return err // interrupted between cores; finished files are intact
+		}
 		cfg := base
 		cfg.CoreID = core
 		src, err := workload.NewStream(p, cfg)

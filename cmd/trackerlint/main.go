@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ func main() { cli.Main("trackerlint", run) }
 // internal/track declares.
 var guardRe = regexp.MustCompile(`var _ rh\.Tracker = \(\*([A-Z]\w*)\)\(nil\)`)
 
-func run(args []string) error {
+func run(_ context.Context, args []string) error {
 	fs := flag.NewFlagSet("trackerlint", flag.ContinueOnError)
 	trackDir := fs.String("track", "internal/track", "tracker package directory to scan")
 	docPath := fs.String("doc", "docs/TRACKERS.md", "tracker catalog that must mention every scheme")

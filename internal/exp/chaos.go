@@ -189,7 +189,7 @@ func Chaos(o Options, names []string) (*ChaosReport, error) {
 		})
 	}
 
-	hres, err := harness.RunCampaign(context.Background(), cells, harness.Options{
+	hres, err := harness.RunCampaign(o.ctx(), cells, harness.Options{
 		Workers:      o.Parallelism,
 		CellTimeout:  o.CellTimeout,
 		StallTimeout: o.StallTimeout,

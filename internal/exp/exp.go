@@ -81,10 +81,25 @@ type Options struct {
 	// so an HTTP /metrics scrape mid-campaign sees current totals
 	// instead of waiting for the run report.
 	Live *obsv.Registry
+	// Ctx, when non-nil, is the campaign context: cancelling it aborts
+	// in-flight cells at their next progress poll and fails the sweep
+	// with the cancellation cause. The binaries pass the signal context
+	// from cli.Main here so SIGINT/SIGTERM shuts a campaign down
+	// gracefully (final checkpoint already flushed per finished cell).
+	// Nil means context.Background() — never cancelled.
+	Ctx context.Context
 }
 
 // SeedOf returns a pointer to seed, for Options.Seed literals.
 func SeedOf(seed uint64) *uint64 { return &seed }
+
+// ctx returns the campaign context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
 
 func (o Options) withDefaults() Options {
 	if o.Scale <= 0 {
@@ -297,7 +312,11 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 			})
 		}
 	}
-	hres, err := harness.RunCampaign(context.Background(), cells, harness.Options{
+	var droppedBefore int64
+	if o.Bus != nil {
+		droppedBefore = o.Bus.Dropped()
+	}
+	hres, err := harness.RunCampaign(o.ctx(), cells, harness.Options{
 		Workers:      o.Parallelism,
 		CellTimeout:  o.CellTimeout,
 		StallTimeout: o.StallTimeout,
@@ -307,6 +326,11 @@ func runMatrix(o Options, profiles []workload.Profile, variants []Variant) (map[
 		Bus:          o.Bus,
 		OnCellDone:   o.liveObserver(),
 	})
+	if o.Bus != nil && o.Live != nil {
+		if d := o.Bus.Dropped() - droppedBefore; d > 0 {
+			o.Live.Count("campaign.events.dropped", d)
+		}
+	}
 	if err != nil {
 		return nil, nil, harness.CacheStats{}, err
 	}

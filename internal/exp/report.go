@@ -65,8 +65,10 @@ func (r *PerfReport) runReport(out *obsv.Report) {
 			w.NormPerf[s] = norm
 			w.SlowdownPct[s] = (1 - norm) * 100
 		}
-		for scheme, byWorkload := range r.Results {
-			if res, ok := byWorkload[p.Name]; ok && res.Metrics != nil {
+		// Deterministic merge order: the report must encode identically
+		// across runs (the crash-point sweep compares reports bitwise).
+		for _, scheme := range sortedKeys(r.Results) {
+			if res, ok := r.Results[scheme][p.Name]; ok && res.Metrics != nil {
 				w.Metrics[scheme] = res.Metrics
 				agg.Merge(res.Metrics)
 			}
@@ -97,6 +99,12 @@ func (r *PerfReport) runReport(out *obsv.Report) {
 		}
 		if c.StoreErrors > 0 {
 			counter("cache.store_errors", c.StoreErrors, "entries")
+		}
+		if c.Evicted > 0 {
+			counter("cache.evicted", c.Evicted, "entries")
+		}
+		if c.Quarantined > 0 {
+			counter("cache.quarantined", c.Quarantined, "entries")
 		}
 	}
 	out.Metrics = agg

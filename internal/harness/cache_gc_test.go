@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/iofault"
+	"repro/internal/testutil"
+)
+
+// The GC property test drives a CellCache and a reference model with
+// the same random operation sequence and requires them to agree after
+// every step. All entries are built from fixed-width hashes, keys and
+// payloads so every on-disk entry has the same byte size and the model
+// can do exact byte accounting.
+
+const gcPayload = "0123456789abcdef0123456789abcdef"
+
+func gcHash(i int) string { return fmt.Sprintf("%08x%08x", i, i) }
+func gcKey(i int) string  { return fmt.Sprintf("cell/%08d", i) }
+
+type gcKind int
+
+const (
+	gcStore   gcKind = iota // store entry arg (new or overwrite)
+	gcLookup                // lookup entry arg (mem, disk or miss)
+	gcCorrupt               // tear entry arg's disk file in place
+	gcTick                  // advance the injected clock
+	gcReopen                // drop the process: reopen the cache cold
+	gcNumKinds
+)
+
+func (k gcKind) String() string {
+	return [...]string{"store", "lookup", "corrupt", "tick", "reopen"}[k]
+}
+
+type gcOp struct {
+	Kind gcKind
+	Arg  int
+}
+
+func (o gcOp) String() string { return fmt.Sprintf("%s(%d)", o.Kind, o.Arg) }
+
+// gcWorld is the cache under test plus the reference model. The model
+// mirrors the documented janitor contract: LRU by atime (ties broken
+// by hash, ascending), quarantine for corrupt entries, byte budget
+// never exceeded.
+type gcWorld struct {
+	dir    string
+	budget int64
+	entry  int64 // uniform on-disk entry size
+	clk    time.Time
+	cache  *CellCache
+
+	disk    map[string]int64 // hash -> atime (unix ns) of live entries
+	corrupt map[string]bool  // live entries whose file was torn
+	mem     map[string]bool  // hashes the current instance holds in memory
+	qset    map[string]bool  // distinct hashes ever quarantined (dir contents)
+	qinst   int64            // quarantines attributed to the current instance
+}
+
+func gcDecode(_ string, raw json.RawMessage) (any, error) {
+	var s string
+	err := json.Unmarshal(raw, &s)
+	return s, err
+}
+
+// gcEntrySize measures the uniform entry size by storing one probe
+// entry in a scratch directory.
+func gcEntrySize(t *testing.T) int64 {
+	t.Helper()
+	c, err := NewCellCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Store(gcHash(0), gcKey(0), gcPayload, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return c.DiskBytes()
+}
+
+func newGCWorld(dir string, budget, entry int64) (*gcWorld, error) {
+	w := &gcWorld{
+		dir: dir, budget: budget, entry: entry,
+		clk:     time.Unix(1_700_000_000, 0),
+		disk:    map[string]int64{},
+		corrupt: map[string]bool{},
+		mem:     map[string]bool{},
+		qset:    map[string]bool{},
+	}
+	return w, w.open()
+}
+
+// open starts a fresh cache instance over the surviving directory, as
+// a process restart would. The scan quarantines every torn entry it
+// finds, so the model moves them too.
+func (w *gcWorld) open() error {
+	c, err := NewCellCacheFS(w.dir, iofault.OS{})
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	c.Decode = gcDecode
+	c.now = func() time.Time { return w.clk }
+	c.SetMaxBytes(w.budget)
+	w.cache = c
+
+	w.qinst = 0
+	for h := range w.corrupt {
+		delete(w.disk, h)
+		w.qset[h] = true
+		w.qinst++
+	}
+	w.corrupt = map[string]bool{}
+	w.mem = map[string]bool{}
+	return nil
+}
+
+// evict applies the model's LRU rule: while over budget, remove the
+// entry with the smallest atime, ties broken by hash ascending.
+func (w *gcWorld) evict() {
+	for int64(len(w.disk))*w.entry > w.budget && len(w.disk) > 0 {
+		victim := ""
+		for h, at := range w.disk {
+			if victim == "" || at < w.disk[victim] || (at == w.disk[victim] && h < victim) {
+				victim = h
+			}
+		}
+		delete(w.disk, victim)
+		delete(w.corrupt, victim)
+	}
+}
+
+func (w *gcWorld) apply(op gcOp) error {
+	switch op.Kind {
+	case gcStore:
+		h := gcHash(op.Arg)
+		if err := w.cache.Store(h, gcKey(op.Arg), gcPayload, time.Millisecond); err != nil {
+			return fmt.Errorf("%v: %w", op, err)
+		}
+		w.mem[h] = true
+		w.disk[h] = w.clk.UnixNano()
+		delete(w.corrupt, h) // overwritten with a valid entry
+		w.evict()
+
+	case gcLookup:
+		h := gcHash(op.Arg)
+		v, ok := w.cache.Lookup(h)
+		_, onDisk := w.disk[h]
+		switch {
+		case w.mem[h]: // memory tier answers; disk state irrelevant
+			if !ok || v != gcPayload {
+				return fmt.Errorf("%v: want mem hit, got (%v, %v)", op, v, ok)
+			}
+		case onDisk && !w.corrupt[h]: // disk hit: promote + refresh atime
+			if !ok || v != gcPayload {
+				return fmt.Errorf("%v: want disk hit, got (%v, %v)", op, v, ok)
+			}
+			w.mem[h] = true
+			w.disk[h] = w.clk.UnixNano()
+		case onDisk: // torn entry: quarantined, reported as a miss
+			if ok {
+				return fmt.Errorf("%v: corrupt entry decoded as a hit", op)
+			}
+			delete(w.disk, h)
+			delete(w.corrupt, h)
+			w.qset[h] = true
+			w.qinst++
+		default:
+			if ok {
+				return fmt.Errorf("%v: hit on an absent entry", op)
+			}
+		}
+
+	case gcCorrupt:
+		h := gcHash(op.Arg)
+		if _, ok := w.disk[h]; !ok {
+			return nil // nothing on disk to tear
+		}
+		if err := os.WriteFile(filepath.Join(w.dir, h+".json"), []byte("{torn"), 0o644); err != nil {
+			return err
+		}
+		w.corrupt[h] = true
+
+	case gcTick:
+		w.clk = w.clk.Add(time.Duration(op.Arg+1) * time.Second)
+
+	case gcReopen:
+		return w.open()
+	}
+	return nil
+}
+
+// check compares every observable of the real cache with the model.
+func (w *gcWorld) check() error {
+	// Janitor accounting matches the model byte-for-byte.
+	if got, want := w.cache.DiskBytes(), int64(len(w.disk))*w.entry; got != want {
+		return fmt.Errorf("DiskBytes %d, model %d", got, want)
+	}
+
+	// The real directory holds exactly the model's live set — no torn
+	// temp litter, no resurrected evictees — and fits the budget.
+	ents, err := os.ReadDir(w.dir)
+	if err != nil {
+		return err
+	}
+	real := map[string]bool{}
+	var realBytes int64
+	for _, e := range ents {
+		if e.IsDir() {
+			if e.Name() != QuarantineDir {
+				return fmt.Errorf("stray directory %q", e.Name())
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".json") {
+			return fmt.Errorf("stray file %q (temp litter?)", e.Name())
+		}
+		real[strings.TrimSuffix(e.Name(), ".json")] = true
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		realBytes += info.Size()
+	}
+	if realBytes > w.budget {
+		return fmt.Errorf("directory holds %d bytes, budget %d", realBytes, w.budget)
+	}
+	if len(real) != len(w.disk) {
+		return fmt.Errorf("directory has %d entries, model %d", len(real), len(w.disk))
+	}
+	for h := range w.disk {
+		if !real[h] {
+			return fmt.Errorf("model entry %s missing from directory", h)
+		}
+	}
+
+	// Quarantine is lossless: every hash the model ever quarantined is
+	// a file in quarantine/, and the instance counted its own moves.
+	qents, err := os.ReadDir(filepath.Join(w.dir, QuarantineDir))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if len(qents) != len(w.qset) {
+		return fmt.Errorf("quarantine dir has %d files, model %d", len(qents), len(w.qset))
+	}
+	if got := w.cache.Stats().Quarantined; got != w.qinst {
+		return fmt.Errorf("stats.Quarantined %d, model %d", got, w.qinst)
+	}
+	return nil
+}
+
+// runGCSeq replays one operation sequence in a fresh directory and
+// returns the first invariant violation (nil if the sequence passes).
+func runGCSeq(t *testing.T, budget, entry int64, ops []gcOp) error {
+	t.Helper()
+	w, err := newGCWorld(t.TempDir(), budget, entry)
+	if err != nil {
+		return err
+	}
+	for i, op := range ops {
+		if err := w.apply(op); err != nil {
+			return fmt.Errorf("op %d %v: %w", i, op, err)
+		}
+		if err := w.check(); err != nil {
+			return fmt.Errorf("op %d %v: %w", i, op, err)
+		}
+	}
+	return nil
+}
+
+// shrinkGC greedily removes operations that keep the sequence failing,
+// so a violation is reported as a minimal reproducer.
+func shrinkGC(t *testing.T, budget, entry int64, ops []gcOp) []gcOp {
+	t.Helper()
+	for i := 0; i < len(ops); {
+		cand := append(append([]gcOp{}, ops[:i]...), ops[i+1:]...)
+		if runGCSeq(t, budget, entry, cand) != nil {
+			ops = cand
+		} else {
+			i++
+		}
+	}
+	return ops
+}
+
+func genGCOps(rng *rand.Rand, n int) []gcOp {
+	ops := make([]gcOp, n)
+	for i := range ops {
+		var k gcKind
+		switch r := rng.Intn(100); {
+		case r < 35:
+			k = gcStore
+		case r < 60:
+			k = gcLookup
+		case r < 70:
+			k = gcCorrupt
+		case r < 85:
+			k = gcTick
+		default:
+			k = gcReopen
+		}
+		// A small index pool makes overwrites, re-lookups and
+		// corrupt-then-restore collisions common.
+		ops[i] = gcOp{Kind: k, Arg: rng.Intn(12)}
+	}
+	return ops
+}
+
+// TestCellCacheGCProperty is the janitor's property test: random
+// store/lookup/corrupt/clock/restart sequences, checked against a
+// reference model after every operation. The invariants: the disk tier
+// never exceeds its byte budget, eviction is exactly LRU by recorded
+// atime (never a fresher entry over a staler one), and a torn entry is
+// never lost silently — it lands in quarantine/ with the counter to
+// match, or is evicted like any other entry, but never decodes.
+func TestCellCacheGCProperty(t *testing.T) {
+	entry := gcEntrySize(t)
+	budget := 4*entry + entry/2 // room for 4 entries, forcing eviction
+	seeds := testutil.Pick(t, 8, 64)
+	nops := testutil.Pick(t, 80, 400)
+	testutil.Logf(t, "%d seeds x %d ops, entry %dB, budget %dB", seeds, nops, entry, budget)
+
+	for seed := 1; seed <= seeds; seed++ {
+		ops := genGCOps(rand.New(rand.NewSource(int64(seed))), nops)
+		if err := runGCSeq(t, budget, entry, ops); err != nil {
+			min := shrinkGC(t, budget, entry, ops)
+			t.Fatalf("seed %d: %v\nminimal reproducer (%d ops): %v\nre-run error: %v",
+				seed, err, len(min), min, runGCSeq(t, budget, entry, min))
+		}
+	}
+}

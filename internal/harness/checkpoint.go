@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/iofault"
 )
 
 // CheckpointSchema identifies the checkpoint file format.
@@ -23,12 +24,16 @@ type checkpointFile struct {
 // resume. Values are stored as raw JSON; set Decode so Restore can
 // rebuild the caller's concrete type (results cross the harness as
 // `any`). Safe for concurrent use by campaign workers. Every Store
-// rewrites the file via an atomic rename, so a crash mid-campaign
-// leaves the previous consistent snapshot.
+// rewrites the file via iofault.WriteAtomic (temp file, fsync, rename,
+// parent-directory fsync), so a crash mid-campaign leaves the previous
+// consistent snapshot — and the rename itself survives power loss.
 type Checkpoint struct {
 	// Decode rebuilds a cell value from its stored JSON. When nil,
 	// Restore reports a miss for every key (the campaign recomputes).
 	Decode func(key string, raw json.RawMessage) (any, error)
+
+	fsys      iofault.FS
+	recovered string // non-empty when Open found a corrupt file and quarantined it
 
 	mu    sync.Mutex
 	path  string
@@ -42,11 +47,24 @@ type Checkpoint struct {
 	wroteGen uint64
 }
 
-// OpenCheckpoint loads the checkpoint at path, creating an empty one
-// (in memory only; the file appears on first Store) if none exists.
+// OpenCheckpoint loads the checkpoint at path over the real
+// filesystem. See OpenCheckpointFS.
 func OpenCheckpoint(path string) (*Checkpoint, error) {
-	c := &Checkpoint{path: path, cells: make(map[string]json.RawMessage)}
-	data, err := os.ReadFile(path)
+	return OpenCheckpointFS(path, iofault.OS{})
+}
+
+// OpenCheckpointFS loads the checkpoint at path, performing all IO
+// through fsys, creating an empty one (in memory only; the file
+// appears on first Store) if none exists.
+//
+// A corrupt or foreign-schema file is never fatal and never silently
+// discarded: it is moved aside to path+".corrupt" and the campaign
+// restarts from an empty checkpoint. Recovered reports when that
+// happened — a crash-interrupted resume must make progress, not wedge
+// on the torn file the crash left behind.
+func OpenCheckpointFS(path string, fsys iofault.FS) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, fsys: fsys, cells: make(map[string]json.RawMessage)}
+	data, err := fsys.ReadFile(path)
 	if os.IsNotExist(err) {
 		return c, nil
 	}
@@ -54,17 +72,34 @@ func OpenCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("harness: reading checkpoint: %w", err)
 	}
 	var f checkpointFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("harness: parsing checkpoint %s: %w", path, err)
+	if jerr := json.Unmarshal(data, &f); jerr != nil {
+		return c.recover(fmt.Sprintf("unparseable (%v)", jerr))
 	}
 	if f.Schema != CheckpointSchema {
-		return nil, fmt.Errorf("harness: checkpoint %s has schema %q, want %q", path, f.Schema, CheckpointSchema)
+		return c.recover(fmt.Sprintf("schema %q, want %q", f.Schema, CheckpointSchema))
 	}
 	if f.Cells != nil {
 		c.cells = f.Cells
 	}
 	return c, nil
 }
+
+// recover quarantines the corrupt checkpoint file and returns an empty
+// checkpoint with Recovered set. If even the move fails, the error is
+// surfaced: Store would otherwise fight the corrupt file for the path.
+func (c *Checkpoint) recover(why string) (*Checkpoint, error) {
+	if err := c.fsys.Rename(c.path, c.path+".corrupt"); err != nil {
+		return nil, fmt.Errorf("harness: checkpoint %s is %s and could not be moved aside: %w", c.path, why, err)
+	}
+	c.recovered = fmt.Sprintf("checkpoint %s was %s; moved to %s.corrupt, starting fresh", c.path, why, c.path)
+	return c, nil
+}
+
+// Recovered reports why the on-disk checkpoint was quarantined at open
+// time ("" when it loaded cleanly or did not exist). Callers surface
+// this as a warning — recovery costs re-simulation, silence costs
+// trust.
+func (c *Checkpoint) Recovered() string { return c.recovered }
 
 // Len reports the number of completed cells currently stored.
 func (c *Checkpoint) Len() int {
@@ -106,11 +141,12 @@ func (c *Checkpoint) Restore(key string) (any, bool, error) {
 }
 
 // Store records a completed cell and rewrites the checkpoint file
-// atomically (write to a temp file in the same directory, fsync, then
-// rename). The cell map is only locked long enough to take a snapshot;
-// encoding and file IO happen outside the lock, so concurrent workers
-// do not serialize their simulations behind disk writes. If several
-// workers race, only the newest snapshot reaches the file.
+// atomically (temp file in the same directory, fsync, rename, parent
+// directory fsync). The cell map is only locked long enough to take a
+// snapshot; encoding and file IO happen outside the lock, so
+// concurrent workers do not serialize their simulations behind disk
+// writes. If several workers race, only the newest snapshot reaches
+// the file.
 func (c *Checkpoint) Store(key string, v any) error {
 	raw, err := json.Marshal(v)
 	if err != nil {
@@ -136,29 +172,7 @@ func (c *Checkpoint) Store(key string, v any) error {
 	if gen <= c.wroteGen {
 		return nil // a newer snapshot is already on disk
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".checkpoint-*")
-	if err != nil {
-		return fmt.Errorf("harness: writing checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: writing checkpoint: %w", err)
-	}
-	// Flush to stable storage before the rename: otherwise a crash can
-	// leave the new name pointing at unwritten blocks, losing the old
-	// snapshot along with the new one.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: syncing checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("harness: writing checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
-		os.Remove(tmp.Name())
+	if err := iofault.WriteAtomic(c.fsys, c.path, append(data, '\n')); err != nil {
 		return fmt.Errorf("harness: writing checkpoint: %w", err)
 	}
 	c.wroteGen = gen

@@ -278,19 +278,48 @@ func TestCheckpointResume(t *testing.T) {
 	}
 }
 
-func TestCheckpointRejectsWrongSchema(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "checkpoint.json")
-	if err := writeFile(path, `{"schema":"hydra-checkpoint/v999","cells":{}}`); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := OpenCheckpoint(path); err == nil {
-		t.Fatal("wrong schema accepted")
-	}
-	if err := writeFile(path, `{not json`); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := OpenCheckpoint(path); err == nil {
-		t.Fatal("corrupt checkpoint accepted")
+func TestCheckpointQuarantinesWrongSchema(t *testing.T) {
+	// A corrupt or foreign-schema checkpoint must not wedge a resume:
+	// it is moved aside to <path>.corrupt, the campaign restarts empty,
+	// and Recovered reports what happened.
+	for name, content := range map[string]string{
+		"wrong-schema": `{"schema":"hydra-checkpoint/v999","cells":{"k":{}}}`,
+		"not-json":     `{not json`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "checkpoint.json")
+			if err := writeFile(path, content); err != nil {
+				t.Fatal(err)
+			}
+			cp, err := OpenCheckpoint(path)
+			if err != nil {
+				t.Fatalf("corrupt checkpoint fatal: %v", err)
+			}
+			if cp.Len() != 0 {
+				t.Fatalf("recovered checkpoint holds %d cells, want 0", cp.Len())
+			}
+			if cp.Recovered() == "" {
+				t.Fatal("Recovered() empty after quarantine")
+			}
+			if _, err := os.Stat(path + ".corrupt"); err != nil {
+				t.Fatalf("corrupt file not quarantined: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still at original path (err=%v)", err)
+			}
+			// The recovered checkpoint must be usable.
+			if err := cp.Store("k", cellValue{IPC: 1}); err != nil {
+				t.Fatalf("Store after recovery: %v", err)
+			}
+			reopened, err := OpenCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reopened.Recovered() != "" || reopened.Len() != 1 {
+				t.Fatalf("reopen: recovered=%q len=%d, want clean 1-cell checkpoint",
+					reopened.Recovered(), reopened.Len())
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // GatherFunc returns a current metrics snapshot. The obsv.Server calls
@@ -54,6 +56,12 @@ type Server struct {
 	opts ServerOptions
 	mux  *http.ServeMux
 
+	// done is closed by Shutdown/Close so streaming handlers (/events)
+	// end their response cleanly — http.Server.Shutdown alone would
+	// wait forever on an NDJSON stream that never returns.
+	done     chan struct{}
+	downOnce sync.Once
+
 	mu  sync.Mutex
 	ln  net.Listener
 	srv *http.Server
@@ -62,7 +70,7 @@ type Server struct {
 // NewServer builds a telemetry server; Start (or an external
 // http.Server via Handler) makes it reachable.
 func NewServer(opts ServerOptions) *Server {
-	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s := &Server{opts: opts, mux: http.NewServeMux(), done: make(chan struct{})}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
@@ -99,8 +107,9 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 // flag: with an empty addr it does nothing and returns a no-op stop;
 // otherwise it starts a telemetry server on addr, prints the reachable
 // metrics URL to stderr (stdout stays machine-parseable), and returns
-// the server's Close. The returned stop is always non-nil and safe to
-// defer.
+// a graceful stop (Shutdown under a short deadline, so in-flight
+// scrapes and /events streams drain). The returned stop is always
+// non-nil and safe to defer.
 func ListenFlag(addr string, opts ServerOptions) (stop func() error, err error) {
 	if addr == "" {
 		return func() error { return nil }, nil
@@ -111,11 +120,37 @@ func ListenFlag(addr string, opts ServerOptions) (stop func() error, err error) 
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "[telemetry: http://%s/metrics]\n", bound)
-	return s.Close, nil
+	return func() error { return s.Shutdown(2 * time.Second) }, nil
 }
 
-// Close stops a started server (no-op otherwise).
+// Shutdown stops a started server gracefully: streaming handlers are
+// told to finish (in-flight /events subscribers get their final flush
+// and a clean EOF instead of a connection reset), then the listener
+// drains in-flight scrapes under the deadline. If the deadline
+// expires, the remaining connections are closed abruptly — shutdown
+// must terminate even with a wedged client. No-op on a never-started
+// server.
+func (s *Server) Shutdown(deadline time.Duration) error {
+	s.downOnce.Do(func() { close(s.done) })
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// Close stops a started server abruptly (no-op otherwise). Prefer
+// Shutdown; Close exists for tests and last-resort teardown.
 func (s *Server) Close() error {
+	s.downOnce.Do(func() { close(s.done) })
 	s.mu.Lock()
 	srv := s.srv
 	s.srv, s.ln = nil, nil
@@ -175,6 +210,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.done:
+			// Graceful shutdown: return so http.Server.Shutdown can
+			// complete; the client sees a clean end of stream.
 			return
 		case e, ok := <-ch:
 			if !ok {

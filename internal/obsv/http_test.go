@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestPromName(t *testing.T) {
@@ -286,5 +287,63 @@ func TestRegistryConcurrentGather(t *testing.T) {
 	}
 	if got := snap.Counter("memsim.reads"); got != 800 {
 		t.Errorf("merged memsim.reads = %d, want 800", got)
+	}
+}
+
+// liveSource is an EventSource whose channel never closes on its own —
+// the shape of a campaign still in flight when the process is told to
+// shut down.
+type liveSource struct{ ch chan any }
+
+func (l liveSource) SubscribeAny(int, bool) (<-chan any, func()) { return l.ch, func() {} }
+
+// TestServerShutdownEndsEventStream pins the graceful-shutdown
+// contract for streaming handlers: a client following /events while
+// Shutdown is called gets its buffered events and a clean end of
+// stream (io.EOF from a completed chunked response), not a connection
+// reset — and Shutdown itself returns instead of waiting forever on
+// the never-ending stream.
+func TestServerShutdownEndsEventStream(t *testing.T) {
+	src := liveSource{ch: make(chan any, 8)}
+	s := NewServer(ServerOptions{Events: src})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/events", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// One event while the stream is live, to prove it is mid-flight.
+	src.ch <- map[string]any{"kind": "running", "key": "t/a/b"}
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading live event: %v", err)
+	}
+	var e map[string]any
+	if err := json.Unmarshal(line, &e); err != nil {
+		t.Fatalf("live event %q: %v", line, err)
+	}
+
+	// Shutdown with the stream still open: the handler must notice and
+	// return so the listener can drain within the deadline.
+	errc := make(chan error, 1)
+	go func() { errc <- s.Shutdown(5 * time.Second) }()
+
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("stream did not end cleanly: %v (read %q)", err, rest)
+	}
+	if len(rest) != 0 {
+		t.Errorf("unexpected trailing stream data %q", rest)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := s.Shutdown(time.Second); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
 	}
 }

@@ -106,6 +106,10 @@ func (m Metrics) Merge(other Metrics) {
 				merged := cur.Hist.Clone()
 				merged.Merge(*om.Hist)
 				cur.Hist = &merged
+				// Keep the headline value (= observation count) in step
+				// with the merged histogram, so aggregates are identical
+				// regardless of merge order.
+				cur.Value = float64(merged.N)
 			}
 		}
 		m[name] = cur

@@ -1,12 +1,16 @@
 package obsv
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
+
+	"repro/internal/iofault"
 )
 
 // ReportSchema identifies the run-report JSON shape; bump on breaking
@@ -222,20 +226,59 @@ func (f *ReportFile) Encode(w io.Writer) error {
 	return enc.Encode(f)
 }
 
-// WriteFile writes the report file to path ("-" means stdout).
+// WriteFile writes the report file to path ("-" means stdout) over the
+// real filesystem. See WriteFileFS.
 func (f *ReportFile) WriteFile(path string) error {
+	return f.WriteFileFS(iofault.OS{}, path)
+}
+
+// WriteFileFS writes the report file to path ("-" means stdout),
+// performing the IO through fsys with the full atomic-write crash
+// discipline (iofault.WriteAtomic): an interrupted or crashed run
+// leaves the previous report or none, never a truncated JSON file.
+func (f *ReportFile) WriteFileFS(fsys iofault.FS, path string) error {
 	if path == "-" {
 		return f.Encode(os.Stdout)
 	}
-	out, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
 		return err
 	}
-	if err := f.Encode(out); err != nil {
-		out.Close()
-		return err
+	return iofault.WriteAtomic(fsys, path, buf.Bytes())
+}
+
+// Normalize strips the operational noise a report legitimately picks
+// up between two runs of identical work, leaving only the scientific
+// content, so two reports can be compared bitwise:
+//
+//   - CreatedAt collapses to the Unix epoch (a fixed non-zero instant,
+//     so Validate still passes) and ElapsedSec to zero — wall-clock;
+//   - Cells drop entirely — the same result is "ok" in a clean run,
+//     "restored" after a crash, "cached" on a warm replay;
+//   - cache.* metrics drop — hit/miss traffic depends on the IO
+//     history, not the simulated system.
+//
+// The crash-point sweep and the SIGINT resume test call this on both
+// sides before comparing encodings; everything left MUST be identical
+// or determinism is broken.
+func (r *Report) Normalize() {
+	r.CreatedAt = time.Unix(0, 0).UTC()
+	r.ElapsedSec = 0
+	r.Cells = nil
+	for name := range r.Metrics {
+		if strings.HasPrefix(name, "cache.") || strings.HasPrefix(name, "campaign.") {
+			delete(r.Metrics, name)
+		}
 	}
-	return out.Close()
+}
+
+// Normalize applies Report.Normalize to every contained report.
+func (f *ReportFile) Normalize() {
+	for _, r := range f.Reports {
+		if r != nil {
+			r.Normalize()
+		}
+	}
 }
 
 // DecodeReportFile parses and validates a report file from bytes. It
