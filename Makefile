@@ -31,14 +31,22 @@ test:
 # single-iteration pass over every benchmark so a broken benchmark
 # cannot sit undetected until someone runs the perf gate, plus the
 # docs-lint keeping docs/TRACKERS.md in sync with internal/track.
+# The suite includes the quick tier of every property-test machine
+# (internal/proptest; catalog in docs/TESTING.md) — set TEST_INTENSITY
+# or use `make soak` for the thorough tier. The explicit -timeout
+# raises go test's 10 m per-package default: internal/exp's campaign
+# tests already run minutes natively and the race detector multiplies
+# that several-fold.
 check: bench-smoke docs-lint
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # soak runs the whole suite at the thorough test tier under the race
 # detector: full crash-point coverage across all four workloads, long
-# property-test loops (see internal/testutil). Slow by design; run it
-# before merging storage-plane or harness changes.
+# property-test loops (see internal/testutil), and 20x the generated
+# cases in every proptest machine (tracker/scheduler/cache — see
+# docs/TESTING.md). Slow by design; run it before merging
+# storage-plane, tracker or harness changes.
 soak:
 	TEST_INTENSITY=thorough $(GO) test -race -timeout 30m ./...
 

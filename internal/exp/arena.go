@@ -62,9 +62,9 @@ func arenaSecurityGeometry() track.Geometry {
 	return track.Geometry{Rows: 4096, RowsPerBank: 1024, Banks: 4, ACTMax: 100000}
 }
 
-// arenaFuncTracker builds the named scheme's functional model sized for
+// ArenaFuncTracker builds the named scheme's functional model sized for
 // geom at trh, matching the defaults the attacksim command uses.
-func arenaFuncTracker(name string, geom track.Geometry, trh int, seed uint64) (rh.Tracker, error) {
+func ArenaFuncTracker(name string, geom track.Geometry, trh int, seed uint64) (rh.Tracker, error) {
 	switch name {
 	case "hydra":
 		cfg := core.ForThreshold(trh)
@@ -241,7 +241,7 @@ func Arena(o Options, thresholds []int) (*ArenaReport, error) {
 		for si, name := range rep.FuncSchemes {
 			for ai, adv := range advs {
 				seed := o.seed() + uint64(ti*997+si*131+ai)*0x9e3779b9
-				tr, err := arenaFuncTracker(name, geom, trh, seed)
+				tr, err := ArenaFuncTracker(name, geom, trh, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -265,7 +265,7 @@ func Arena(o Options, thresholds []int) (*ArenaReport, error) {
 				if adv.Key == "mitig-storm" {
 					// Burst shape needs a fresh tracker: Run consumed
 					// (and window-reset) the first one.
-					fresh, err := arenaFuncTracker(name, geom, trh, seed)
+					fresh, err := ArenaFuncTracker(name, geom, trh, seed)
 					if err != nil {
 						return nil, err
 					}

@@ -1,0 +1,180 @@
+package harness
+
+// Property machine for the event bus's replay ring and drop
+// accounting. The contract under test:
+//
+//   - a replay subscriber receives exactly the newest
+//     min(published, retain, buffer) events, in publish order, with
+//     contiguous Seq — no wrap-boundary loss, duplication or
+//     reordering for any (retain, buffer, published) combination;
+//   - every event a subscriber receives is bitwise the event that was
+//     published at that Seq;
+//   - Dropped() is exact: replay truncation plus full-mailbox losses,
+//     summed over all subscribers, nothing else.
+//
+// Live mailbox drops lose the *newest* events (the send fails when the
+// mailbox is full), replay truncation loses the *oldest* (the backlog
+// is clipped from the front); the model tracks both per subscriber.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/proptest"
+)
+
+// busSubModel mirrors one attached, never-drained subscriber.
+type busSubModel struct {
+	ch     <-chan CellEvent
+	cancel func()
+	// free is the remaining mailbox capacity; publishes past it drop.
+	free    int
+	expect  []int64 // Seq values the mailbox must contain, in order
+	dropped int64
+}
+
+func busProp(tb testing.TB) func(*proptest.T) {
+	return func(t *proptest.T) {
+		retain := proptest.IntRange(1, 12).Draw(t, "retain")
+		bus := NewBus(retain)
+		defer bus.Close()
+
+		var published []CellEvent // index i holds Seq i+1
+		var expectDropped int64
+		var live []*busSubModel
+
+		publish := func(n int) {
+			for i := 0; i < n; i++ {
+				e := CellEvent{Kind: EvProgress, Key: fmt.Sprintf("cell-%d", len(published)), Cycles: int64(len(published)) * 7}
+				bus.Publish(e)
+				e.Schema = CellEventSchema
+				e.Seq = int64(len(published) + 1)
+				published = append(published, e)
+				for _, s := range live {
+					if s.free > 0 {
+						s.free--
+						s.expect = append(s.expect, e.Seq)
+					} else {
+						s.dropped++
+						expectDropped++
+					}
+				}
+			}
+		}
+
+		// backlogWant returns the Seq values a fresh replay subscriber
+		// with the given buffer must receive, and how many the
+		// truncation must drop.
+		backlogWant := func(buffer int) (want []int64, truncated int64) {
+			n := len(published)
+			if n > retain {
+				n = retain
+			}
+			if n > buffer {
+				truncated = int64(n - buffer)
+				n = buffer
+			}
+			for i := len(published) - n; i < len(published); i++ {
+				want = append(want, published[i].Seq)
+			}
+			return want, truncated
+		}
+
+		drain := func(ch <-chan CellEvent) []CellEvent {
+			var got []CellEvent
+			for {
+				select {
+				case e, ok := <-ch:
+					if !ok { // closed: drained
+						return got
+					}
+					got = append(got, e)
+				default:
+					return got
+				}
+			}
+		}
+
+		checkEvents := func(got []CellEvent, want []int64) {
+			if len(got) != len(want) {
+				t.Fatalf("subscriber received %d events, model expects %d (retain=%d, published=%d)",
+					len(got), len(want), retain, len(published))
+			}
+			for i, e := range got {
+				if e.Seq != want[i] {
+					t.Fatalf("event %d has Seq %d, want %d (ring replay out of order or lost at wrap)", i, e.Seq, want[i])
+				}
+				e.TSec = 0 // wall-clock stamp, not modelable
+				if !reflect.DeepEqual(e, published[e.Seq-1]) {
+					t.Fatalf("event Seq %d mutated in the ring:\ngot  %+v\nwant %+v", e.Seq, e, published[e.Seq-1])
+				}
+			}
+		}
+
+		proptest.Repeat(t, map[string]func(*proptest.T){
+			// Invariant: the drop counter is exact at every step.
+			"": func(t *proptest.T) {
+				if got := bus.Dropped(); got != expectDropped {
+					t.Fatalf("Dropped() = %d, model expects %d (replay truncations + mailbox losses)", got, expectDropped)
+				}
+			},
+			// Attach a subscriber that stays and never drains: its
+			// mailbox keeps the oldest events, later ones drop.
+			"attach-live": func(t *proptest.T) {
+				buffer := proptest.IntRange(1, 8).Draw(t, "buffer")
+				withReplay := proptest.Bool().Draw(t, "replay")
+				var want []int64
+				var truncated int64
+				if withReplay {
+					want, truncated = backlogWant(buffer)
+					expectDropped += truncated
+				}
+				ch, cancel := bus.Subscribe(buffer, withReplay)
+				live = append(live, &busSubModel{
+					ch: ch, cancel: cancel,
+					free:   buffer - len(want),
+					expect: want,
+				})
+			},
+			// Detach the oldest live subscriber, verifying its mailbox
+			// holds exactly what the model predicts.
+			"detach": func(t *proptest.T) {
+				if len(live) == 0 {
+					return
+				}
+				s := live[0]
+				live = live[1:]
+				s.cancel()
+				checkEvents(drain(s.ch), s.expect)
+			},
+			"publish": func(t *proptest.T) {
+				publish(proptest.IntRange(1, 30).Draw(t, "n"))
+			},
+			// Attach with replay, drain immediately, detach: must see
+			// exactly the newest min(published, retain, buffer) events.
+			"replay-snapshot": func(t *proptest.T) {
+				buffer := proptest.IntRange(1, 20).Draw(t, "buffer")
+				want, truncated := backlogWant(buffer)
+				expectDropped += truncated
+				ch, cancel := bus.Subscribe(buffer, true)
+				checkEvents(drain(ch), want)
+				cancel()
+			},
+		})
+
+		for _, s := range live {
+			s.cancel()
+			checkEvents(drain(s.ch), s.expect)
+		}
+		if got := bus.Dropped(); got != expectDropped {
+			t.Fatalf("final Dropped() = %d, model expects %d", got, expectDropped)
+		}
+	}
+}
+
+// TestBusReplayRingMachine drives the bus through generated
+// publish/subscribe/replay interleavings against an exact model.
+func TestBusReplayRingMachine(t *testing.T) {
+	proptest.Check(t, busProp(t))
+}

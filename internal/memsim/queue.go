@@ -83,9 +83,15 @@ func (h *entHeap) pop() heapEnt {
 }
 
 // bucket holds the arrived requests of one (queue, bank) pair in
-// submission order. Serving a request nils its slot; front skips the
-// dead prefix lazily and the slice compacts once it is mostly dead, so
-// both the FIFO head and arbitrary middle removals are O(1) amortized.
+// submission (seq) order. Serving a request nils its slot; front skips
+// the dead prefix lazily and the slice compacts once it is mostly dead,
+// so both the FIFO head and arbitrary middle removals are O(1)
+// amortized. Inserts are appends except when arrival timestamps run
+// backward (out-of-order submitters such as the throttle policy's
+// future-dated rate limiting): the future heap promotes in Arrive
+// order, so a late-submitted-but-early-arriving request can reach the
+// bucket before an older one, and the older request is then bubbled
+// into seq position — the ordering FR-FCFS and FCFS tie-breaks rely on.
 type bucket struct {
 	items []*Request
 	head  int // first possibly-live index; items[:head] are all nil
@@ -99,12 +105,38 @@ type bucket struct {
 }
 
 func (b *bucket) push(r *Request, openRow int) {
-	r.qpos = int32(len(b.items))
+	// Trim the dead suffix first so the append lands directly after
+	// the last live request. Amortized O(1) — every trimmed slot was
+	// appended exactly once — and it keeps the serve-newest-then-push
+	// cycle from walking an ever-growing nil tail.
+	for n := len(b.items); n > b.head && b.items[n-1] == nil; n-- {
+		b.items = b.items[:n-1]
+	}
+	i := len(b.items)
+	r.qpos = int32(i)
 	b.items = append(b.items, r)
 	b.live++
-	// A new request cannot displace an existing bestHit (it is newer),
-	// but it can upgrade a cached "no hit".
-	if b.hitValid && b.bestHit == nil && r.loc.Row == openRow {
+	// Bubble past any live request with a greater seq (and the dead
+	// slots between), restoring seq order after an out-of-order
+	// promotion. For monotonic traffic the loop breaks immediately on
+	// the preceding live request.
+	for i > b.head {
+		p := b.items[i-1]
+		if p != nil && p.seq < r.seq {
+			break
+		}
+		b.items[i-1], b.items[i] = r, p
+		if p != nil {
+			p.qpos = int32(i)
+		}
+		r.qpos = int32(i - 1)
+		i--
+	}
+	// Maintain the cached best hit: a new request upgrades a cached
+	// "no hit", and an out-of-order one can be older than the cached
+	// hit itself.
+	if b.hitValid && r.loc.Row == openRow &&
+		(b.bestHit == nil || r.seq < b.bestHit.seq) {
 		b.bestHit = r
 	}
 }

@@ -1,0 +1,43 @@
+package proptest
+
+import "sort"
+
+// Repeat drives a state machine: it draws a sequence of actions from
+// the map and runs them in drawn order, mirroring rapid's
+// T.Repeat. The "" key, if present, is the invariant check — it runs
+// once before the first action and again after every action. Actions
+// mutate state captured by the closures; the property fails when any
+// action or the invariant calls Fatalf.
+//
+// The step count is drawn from the word stream (up to maxSteps), so
+// shrinking naturally removes trailing and interior actions: a deleted
+// word shortens the run, and a zeroed word selects the
+// alphabetically-first action, which should therefore be the most
+// benign one where it matters.
+func Repeat(t *T, actions map[string]func(*T)) {
+	const maxSteps = 100
+	invariant := actions[""]
+	names := make([]string, 0, len(actions))
+	for name := range actions {
+		if name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		panic("proptest: Repeat with no actions")
+	}
+	sort.Strings(names)
+
+	if invariant != nil {
+		invariant(t)
+	}
+	steps := IntRange(0, maxSteps).Draw(t, "steps")
+	for i := 0; i < steps; i++ {
+		name := names[t.draw()%uint64(len(names))]
+		t.record("action", name)
+		actions[name](t)
+		if invariant != nil {
+			invariant(t)
+		}
+	}
+}

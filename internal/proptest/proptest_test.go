@@ -1,0 +1,194 @@
+package proptest
+
+import (
+	"strings"
+	"testing"
+)
+
+// runCheck runs Check's core loop directly so tests can observe the
+// shrunken trace instead of failing the real testing.T.
+func findAndShrink(t *testing.T, seed uint64, cases int, prop func(*T)) ([]uint64, string) {
+	t.Helper()
+	for i := 0; i < cases; i++ {
+		src := newRandomSource(splitmix64(seed + uint64(i)))
+		fail, skipped, _, _ := runCase(src, prop)
+		if skipped || fail == "" {
+			continue
+		}
+		trace := append([]uint64(nil), src.rec...)
+		return shrinkReturn(trace, fail, prop)
+	}
+	return nil, ""
+}
+
+func shrinkReturn(trace []uint64, fail string, prop func(*T)) ([]uint64, string) {
+	return shrink(trace, fail, prop)
+}
+
+func TestShrinkFindsMinimalCounterexample(t *testing.T) {
+	// Property: no element of a generated slice exceeds 100. The
+	// minimal counterexample is a single element of exactly 101.
+	prop := func(pt *T) {
+		xs := SliceOfN(IntRange(0, 1000), 0, 40).Draw(pt, "xs")
+		for _, x := range xs {
+			if x > 100 {
+				pt.Fatalf("element %d > 100", x)
+			}
+		}
+	}
+	trace, fail := findAndShrink(t, 1, 200, prop)
+	if fail == "" {
+		t.Fatal("property never failed; generator is broken")
+	}
+	// Replay the shrunken trace and inspect the failing value.
+	var got []int
+	f, _, _, _ := runCase(newReplaySource(trace), func(pt *T) {
+		got = SliceOfN(IntRange(0, 1000), 0, 40).Draw(pt, "xs")
+		for _, x := range got {
+			if x > 100 {
+				pt.Fatalf("element %d > 100", x)
+			}
+		}
+	})
+	if f == "" {
+		t.Fatal("shrunken trace no longer fails")
+	}
+	if len(got) != 1 || got[0] != 101 {
+		t.Fatalf("shrink not minimal: got %v, want [101]", got)
+	}
+}
+
+func TestReplayTraceDeterministic(t *testing.T) {
+	// The same trace must produce the same draws every time.
+	gen := func(pt *T) []uint64 {
+		out := make([]uint64, 8)
+		for i := range out {
+			out[i] = Uint64().Draw(pt, "w")
+		}
+		return out
+	}
+	trace := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	var a, b []uint64
+	runCase(newReplaySource(trace), func(pt *T) { a = gen(pt) })
+	runCase(newReplaySource(trace), func(pt *T) { b = gen(pt) })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Draws past the end of a trace yield zero.
+	var tail uint64 = 99
+	runCase(newReplaySource(nil), func(pt *T) { tail = Uint64().Draw(pt, "w") })
+	if tail != 0 {
+		t.Fatalf("exhausted trace served %d, want 0", tail)
+	}
+}
+
+func TestIntRangeBoundsAndBias(t *testing.T) {
+	g := IntRange(-3, 7)
+	sawLo, sawHi := false, false
+	src := newRandomSource(42)
+	for i := 0; i < 2000; i++ {
+		var v int
+		runCase(src, func(pt *T) { v = g.Draw(pt, "v") })
+		if v < -3 || v > 7 {
+			t.Fatalf("IntRange out of bounds: %d", v)
+		}
+		if v == -3 {
+			sawLo = true
+		}
+		if v == 7 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatalf("edge bias missing: sawLo=%v sawHi=%v", sawLo, sawHi)
+	}
+	// Zero word maps to lo — the simplest value under shrinking.
+	var v int
+	runCase(newReplaySource([]uint64{0}), func(pt *T) { v = g.Draw(pt, "v") })
+	if v != -3 {
+		t.Fatalf("zero word → %d, want lo (-3)", v)
+	}
+}
+
+func TestZeroWordIsSimplestEverywhere(t *testing.T) {
+	zero := newReplaySource(nil)
+	runCase(zero, func(pt *T) {
+		if b := Bool().Draw(pt, "b"); b {
+			t.Errorf("Bool zero word → true")
+		}
+		if f := Float01().Draw(pt, "f"); f != 0 {
+			t.Errorf("Float01 zero word → %v", f)
+		}
+		if s := SampledFrom([]string{"first", "x"}).Draw(pt, "s"); s != "first" {
+			t.Errorf("SampledFrom zero word → %q", s)
+		}
+		if xs := SliceOfN(Uint64(), 0, 9).Draw(pt, "xs"); len(xs) != 0 {
+			t.Errorf("SliceOfN zero word → len %d", len(xs))
+		}
+	})
+}
+
+func TestPanicInPropertyIsFailure(t *testing.T) {
+	fail, skipped, _, _ := runCase(newRandomSource(1), func(pt *T) {
+		var p *int
+		_ = *p // nil deref: the property itself is buggy
+	})
+	if skipped || fail == "" {
+		t.Fatal("panic in property not captured as failure")
+	}
+	if !strings.Contains(fail, "panic:") {
+		t.Fatalf("failure message %q missing panic marker", fail)
+	}
+}
+
+func TestRepeatStateMachine(t *testing.T) {
+	// Model a counter with inc/dec actions and an invariant that the
+	// implementation (which has a deliberate bug at 5) matches.
+	prop := func(pt *T) {
+		impl, model := 0, 0
+		Repeat(pt, map[string]func(*T){
+			"inc": func(pt *T) {
+				impl++
+				if impl == 5 {
+					impl = 0 // the planted bug
+				}
+				model++
+			},
+			"dec": func(pt *T) {
+				if model == 0 {
+					return
+				}
+				impl--
+				model--
+			},
+			"": func(pt *T) {
+				if impl != model {
+					pt.Fatalf("impl %d != model %d", impl, model)
+				}
+			},
+		})
+	}
+	trace, fail := findAndShrink(t, 7, 400, prop)
+	if fail == "" {
+		t.Fatal("planted bug never found")
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty shrunken trace for a stateful bug")
+	}
+	// Shrunken repro must keep failing under ReplayTrace semantics.
+	f, _, _, _ := runCase(newReplaySource(trace), prop)
+	if f == "" {
+		t.Fatal("shrunken trace no longer reproduces")
+	}
+}
+
+func TestCheckPassesOnTrueProperty(t *testing.T) {
+	Check(t, func(pt *T) {
+		x := IntRange(0, 1000).Draw(pt, "x")
+		if x < 0 || x > 1000 {
+			pt.Fatalf("out of range: %d", x)
+		}
+	})
+}

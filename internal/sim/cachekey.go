@@ -16,7 +16,15 @@ import (
 // (refactors proven result-identical) keep the version.
 // v2: added the START/MINT/DAPPER trackers and their config knobs
 // (STARTLLCBytes, MINTIntervalActs) to the hashed fields.
-const CacheKeyVersion = "hydra-cell/v2"
+// v3: per-site RNG streams (internal/rngstream). PARA, MINT, the Hydra
+// address cipher, row-swap and chaos previously all consumed the raw
+// cell Seed, so their streams were correlated; every seeded
+// configuration now computes different (decorrelated) results. Also
+// v3: the memsim scheduler keeps bank buckets in submission order even
+// when arrival timestamps run backward (the out-of-order-arrival
+// leapfrog fix), which changes results for runs that submit
+// future-dated requests — the throttle mitigation policy.
+const CacheKeyVersion = "hydra-cell/v3"
 
 // Cacheable reports whether a run's outcome is fully determined by the
 // fields CanonicalString hashes. Runs with side-effecting attachments

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/obsv"
 	"repro/internal/rh"
+	"repro/internal/rngstream"
 	"repro/internal/track"
 	"repro/internal/workload"
 )
@@ -268,10 +269,10 @@ func New(cfg Config) (*System, error) {
 		nextReset:  window,
 		rowRemap:   make(map[uint32]uint32),
 		rowInverse: make(map[uint32]uint32),
-		swapRNG:    cfg.Seed ^ 0x0ddba11c0ffee,
+		swapRNG:    rngstream.Derive(cfg.Seed, "sim/rowswap"),
 		throttled:  make(map[uint32]int64),
 		chaos:      cfg.Chaos,
-		chaosRNG:   cfg.Seed*0x9e3779b97f4a7c15 | 1,
+		chaosRNG:   rngstream.DeriveNonzero(cfg.Seed, "sim/chaos"),
 	}
 
 	mcfg := memsim.DefaultConfig(cfg.Mem)
@@ -388,7 +389,7 @@ func (s *System) makeTracker(cfg *Config) error {
 		hc.NoGCT = cfg.Tracker == TrackHydraNoGCT
 		hc.NoRCC = cfg.Tracker == TrackHydraNoRCC
 		hc.Randomize = cfg.HydraRandomize
-		hc.Seed = cfg.Seed
+		hc.Seed = rngstream.Derive(cfg.Seed, "tracker/hydra-cipher")
 		t, err := core.New(hc, metaSink{s})
 		if err != nil {
 			return err
@@ -429,7 +430,7 @@ func (s *System) makeTracker(cfg *Config) error {
 		if fail <= 0 {
 			fail = 1e-9
 		}
-		t, err := track.NewPARA(cfg.TRH, fail, cfg.Seed)
+		t, err := track.NewPARA(cfg.TRH, fail, rngstream.Derive(cfg.Seed, "tracker/para"))
 		if err != nil {
 			return err
 		}
@@ -443,7 +444,7 @@ func (s *System) makeTracker(cfg *Config) error {
 		s.tracker = t
 		return nil
 	case TrackMINT:
-		t, err := track.NewMINT(geom, cfg.TRH, cfg.MINTIntervalActs, cfg.Seed)
+		t, err := track.NewMINT(geom, cfg.TRH, cfg.MINTIntervalActs, rngstream.Derive(cfg.Seed, "tracker/mint"))
 		if err != nil {
 			return err
 		}

@@ -41,6 +41,17 @@ type START struct {
 
 	// Mitigations counts mitigations issued over the tracker lifetime.
 	Mitigations int64
+	// Evictions counts pool entries displaced by misses over the
+	// tracker lifetime. Unlike the spillover floor, which lives in the
+	// pool and is wiped by ResetWindow, this survives window resets:
+	// nonzero means an explicit LLC budget was exceeded at some point,
+	// i.e. any lost tracking is the documented capacity trade-off
+	// rather than a logic bug. (The property suite's pressure gate
+	// keys off this; a budget-less START never evicts.)
+	Evictions int64
+	// SpilloverPeak is the highest spillover floor reached over the
+	// tracker lifetime, across window resets.
+	SpilloverPeak int
 }
 
 // startEntryBytes is the LLC cost of one pooled entry: a row tag plus
@@ -119,6 +130,7 @@ func (s *START) Activate(row rh.Row) bool {
 		return false
 	}
 	if floor, ok := b.byCount[b.spillover]; ok {
+		s.Evictions++
 		var victim rh.Row
 		for victim = range floor {
 			break
@@ -141,6 +153,9 @@ func (s *START) Activate(row rh.Row) bool {
 		return false
 	}
 	b.spillover++
+	if b.spillover > s.SpilloverPeak {
+		s.SpilloverPeak = b.spillover
+	}
 	return false
 }
 
@@ -164,6 +179,8 @@ func (s *START) SRAMBytes() int {
 }
 
 // Spillover returns the pool's current spillover floor (for tests).
+// It is wiped by ResetWindow along with the pool; use SpilloverPeak or
+// Evictions for lifetime capacity-pressure evidence.
 func (s *START) Spillover() int { return s.pool.spillover }
 
 // EstimatedCount returns the pool's estimate for a row: its entry
