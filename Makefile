@@ -11,6 +11,11 @@ BENCHOUT ?= BENCH_pr1.json
 BASELINE ?= $(shell git ls-files 'BENCH_*.json' | sort -V | tail -1)
 # Fractional slowdown tolerated by bench-compare before it fails.
 BENCHTOL ?= 0.40
+# Extra benchgate flags for bench-compare. Baselines are stamped with
+# the machine they were recorded on and comparisons fail loudly on a
+# mismatch; a CI runner that differs from the recording machine passes
+# BENCHFLAGS=-allow-env-mismatch to downgrade that to a warning.
+BENCHFLAGS ?=
 # Optional prior `go test -bench` text output to embed in the baseline
 # (records the speedup the current tree delivers over it).
 PREV     ?=
@@ -79,7 +84,7 @@ bench-baseline:
 # baseline.
 bench-compare:
 	$(GO) test -p 1 -bench . -benchmem -run '^$$' ./... \
-		| $(GO) run ./cmd/benchgate -compare $(BASELINE) -tolerance $(BENCHTOL)
+		| $(GO) run ./cmd/benchgate -compare $(BASELINE) -tolerance $(BENCHTOL) $(BENCHFLAGS)
 
 # bench-json writes the machine-readable perf trajectory artifact: a
 # fast, fixed sweep (fig5 on a representative workload subset) whose

@@ -15,6 +15,11 @@
 // baseline are reported as new and never fail the gate (the next
 // `benchgate -write` absorbs them); benchmarks only in the baseline
 // are skipped.
+//
+// Baselines record the machine they were measured on (GOOS/GOARCH,
+// CPU count, GOMAXPROCS); -compare refuses a baseline from a different
+// environment unless -allow-env-mismatch is set, because wall-clock
+// comparisons across machines gate nothing and drift silently.
 package main
 
 import (
@@ -32,15 +37,16 @@ func main() {
 		prev      = flag.String("prev", "", "prior go-test bench output to record as 'previous' (write mode)")
 		compare   = flag.String("compare", "", "baseline file to gate stdin against")
 		tolerance = flag.Float64("tolerance", 0.40, "allowed fractional time regression (compare mode)")
+		allowEnv  = flag.Bool("allow-env-mismatch", false, "compare across differing machines (environment deltas are reported, not fatal)")
 	)
 	flag.Parse()
-	if err := run(*write, *out, *prev, *compare, *tolerance); err != nil {
+	if err := run(*write, *out, *prev, *compare, *tolerance, *allowEnv); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(write bool, out, prev, compare string, tolerance float64) error {
+func run(write bool, out, prev, compare string, tolerance float64, allowEnv bool) error {
 	if write == (compare != "") {
 		return fmt.Errorf("exactly one of -write or -compare is required")
 	}
@@ -78,6 +84,18 @@ func run(write bool, out, prev, compare string, tolerance float64) error {
 	base, err := stats.LoadBenchFile(compare)
 	if err != nil {
 		return err
+	}
+	// Baselines written before the environment stamp existed (nil Env)
+	// compare unchecked; everything newer gates on a comparable machine.
+	if base.Env != nil {
+		if why := stats.CurrentBenchEnv().Mismatch(*base.Env); why != "" {
+			if !allowEnv {
+				return fmt.Errorf("environment mismatch vs %s: %s "+
+					"(benchmark times from different machines do not compare; "+
+					"re-record the baseline here or pass -allow-env-mismatch)", compare, why)
+			}
+			fmt.Printf("warning: environment mismatch vs %s: %s\n", compare, why)
+		}
 	}
 	deltas := stats.CompareBench(base.Benchmarks, current, tolerance)
 	common := 0

@@ -45,6 +45,12 @@ type channel struct {
 	dispatchAt int64 // earliest next scheduling decision (pacing)
 	openBanks  int64 // banks with an open row (occupancy sampling)
 
+	// events buffers this channel's side effects (completions,
+	// activation-hook calls, refresh trace events) until the epoch
+	// barrier replays them; evHead is the drain cursor. See epoch.go.
+	events []chanEvent
+	evHead int
+
 	stats Stats
 }
 
@@ -198,9 +204,6 @@ func (c *channel) step() {
 		}
 	}
 	c.nextAt = c.dispatchAt
-	if r.pooled {
-		c.sh.release(r)
-	}
 }
 
 // applyRefreshes issues every rank refresh scheduled at or before now.
@@ -230,7 +233,11 @@ func (c *channel) applyRefreshes(now int64) {
 				}
 			}
 			c.stats.Refreshes++
-			c.cfg.Trace.Emit(obsv.Event{Cycle: start, Kind: obsv.EvRefresh, Row: uint32(c.id), Aux: int64(rank)})
+			if c.cfg.Trace.Enabled() {
+				c.events = append(c.events, chanEvent{
+					dec: now, t: start, kind: evRefresh, row: uint32(c.id), aux: int64(rank),
+				})
+			}
 			c.nextRef[rank] += c.cfg.Timing.TREFI
 		}
 	}
@@ -468,11 +475,17 @@ func (c *channel) service(r *Request, now int64) {
 	if finish > c.stats.BusyUntil {
 		c.stats.BusyUntil = finish
 	}
-	if r.OnFinish != nil {
-		r.OnFinish(r, finish)
+	// Side effects are buffered, not invoked: the epoch barrier replays
+	// them (completion before activation hook, as the old synchronous
+	// order had it). Pooled requests recycle when their finish event
+	// drains, so the request pointer stays valid for the callback.
+	if r.OnFinish != nil || r.pooled {
+		c.events = append(c.events, chanEvent{dec: now, t: finish, kind: evFinish, r: r})
 	}
-	// The hook runs last: it may submit new requests to this channel.
 	if activatedAt >= 0 && c.cfg.OnACT != nil {
-		c.cfg.OnACT(c.cfg.Mem.GlobalRow(r.loc), r.Kind, activatedAt)
+		c.events = append(c.events, chanEvent{
+			dec: now, t: activatedAt, kind: evAct,
+			row: c.cfg.Mem.GlobalRow(r.loc), rkind: r.Kind,
+		})
 	}
 }

@@ -11,7 +11,9 @@ package memsim
 // a minimal schedule.
 
 import (
+	"os"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/dram"
@@ -179,6 +181,150 @@ func schedulerEquivProp(tb testing.TB) func(*proptest.T) {
 		if a, b := idx.Stats(), lin.Stats(); !reflect.DeepEqual(a, b) {
 			t.Fatalf("stats diverged:\nindexed:   %+v\nreference: %+v", a, b)
 		}
+	}
+}
+
+// driveEpochs is driveStream's counterpart for the bulk-synchronous
+// engine: it submits the specs in arrival order, advancing the memory
+// with lookahead-bounded RunEpoch calls instead of per-event Step, then
+// drains it and returns the observable event log. Both drivers advance
+// exactly the set of decisions strictly before each arrival, so their
+// logs are comparable event for event.
+func driveEpochs(m *Memory, specs []reqSpec) []schedEvent {
+	var events []schedEvent
+	m.cfg.OnACT = func(row uint32, kind Kind, at int64) {
+		events = append(events, schedEvent{row: row, kind: kind, t: at})
+	}
+	onFin := func(r *Request, f int64) {
+		events = append(events, schedEvent{fin: true, id: r.User, t: f})
+	}
+	advance := func(bound int64) {
+		for t := m.NextTime(); t < bound; {
+			h := t + m.Lookahead()
+			if h > bound {
+				h = bound
+			}
+			t = m.RunEpoch(h)
+		}
+	}
+	for i, sp := range specs {
+		advance(sp.arrive)
+		r := &Request{Line: sp.line, Kind: sp.kind, Arrive: sp.arrive, User: int64(i), OnFinish: onFin}
+		if !m.Submit(r) {
+			events = append(events, schedEvent{refuse: true, id: int64(i)})
+		}
+	}
+	advance(Infinity)
+	return events
+}
+
+// parallelEquivProp is the parallel-vs-serial equivalence family: a
+// generated segment mix is run three ways — per-event Step (the old
+// synchronous semantics), serial epochs, and parallel epochs — and all
+// three must produce bitwise-identical event logs and statistics. The
+// Step reference pins the epoch engine's merge order to the global
+// earliest-event order (the hooks here only log, so the engines'
+// feedback semantics coincide); the serial/parallel pair pins execution
+// strategy out of the results entirely, at any GOMAXPROCS. Runs under
+// -race in `make check` (quick tier) and `make soak` (thorough).
+func parallelEquivProp(tb testing.TB) func(*proptest.T) {
+	segments := schedSegments()
+	segNames := make([]string, 0, len(segments))
+	for name := range segments {
+		segNames = append(segNames, name)
+	}
+	sortStrings(segNames)
+	return func(t *proptest.T) {
+		mem := dram.Baseline()
+		mem.Channels = []int{1, 2, 4}[proptest.IntRange(0, 2).Draw(t, "channels")]
+		nseg := proptest.IntRange(1, 10).Draw(t, "segments")
+		var specs []reqSpec
+		clock := int64(0)
+		for s := 0; s < nseg; s++ {
+			name := proptest.SampledFrom(segNames).Draw(t, "segment")
+			specs, clock = segments[name](t, mem, specs, clock)
+		}
+		if len(specs) == 0 {
+			return
+		}
+
+		cfgA := genSchedConfig(t, mem)
+		stepM := New(cfgA)
+		ref := driveStream(stepM, func(h func(uint32, Kind, int64)) { stepM.cfg.OnACT = h }, specs)
+
+		serM := New(cfgA)
+		serial := driveEpochs(serM, specs)
+
+		cfgP := cfgA
+		cfgP.Parallel = true
+		parM := New(cfgP)
+		parallel := driveEpochs(parM, specs)
+		parM.Close()
+
+		compareLogs(t, "serial-epoch", serial, "step", ref)
+		compareLogs(t, "parallel", parallel, "serial-epoch", serial)
+		serStats, parStats := serM.Stats(), parM.Stats()
+		if !reflect.DeepEqual(serStats, parStats) {
+			t.Fatalf("stats diverged across modes:\nserial:   %+v\nparallel: %+v", serStats, parStats)
+		}
+		// The Step reference never runs epochs; mask the counter for
+		// the cross-engine comparison.
+		serStats.Epochs = 0
+		if stepStats := stepM.Stats(); !reflect.DeepEqual(serStats, stepStats) {
+			t.Fatalf("stats diverged across engines:\nepoch: %+v\nstep:  %+v", serStats, stepStats)
+		}
+	}
+}
+
+func compareLogs(t *proptest.T, gotName string, got []schedEvent, wantName string, want []schedEvent) {
+	if len(got) != len(want) {
+		t.Fatalf("%s produced %d events, %s %d", gotName, len(got), wantName, len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d of %d diverged:\n%s: %+v\n%s: %+v",
+				i, len(got), gotName, got[i], wantName, want[i])
+		}
+	}
+}
+
+// TestParallelSerialEquivalenceMachine is the generated equivalence
+// suite for the channel-parallel engine (docs/TESTING.md). CI runs it
+// under the race detector with GOMAXPROCS forced to 1, 2 and NumCPU;
+// the forced-1 leg pins the auto-disable path. On an unforced
+// single-CPU machine the test raises GOMAXPROCS to 2 itself —
+// concurrency without parallelism still drives the worker goroutines
+// and their synchronization under the race detector.
+func TestParallelSerialEquivalenceMachine(t *testing.T) {
+	if os.Getenv("GOMAXPROCS") == "" && runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	proptest.Check(t, parallelEquivProp(t))
+}
+
+// TestParallelEpochsEngage pins that the equivalence suite exercises a
+// real fan-out: with multi-channel traffic and GOMAXPROCS > 1, at
+// least one epoch must run on the worker goroutines (an accidentally
+// always-serial "parallel" mode would pass every equivalence check
+// while testing nothing).
+func TestParallelEpochsEngage(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	}
+	mem := dram.Baseline()
+	mem.Channels = 4
+	cfg := DefaultConfig(mem)
+	cfg.Parallel = true
+	m := New(cfg)
+	defer m.Close()
+	var specs []reqSpec
+	for i := 0; i < 4096; i++ {
+		loc := dram.Loc{Channel: i % 4, Bank: i % 16, Row: (i / 64) % 200, Col: i % 128}
+		specs = append(specs, reqSpec{line: mem.Encode(loc), kind: ReadReq, arrive: int64(i)})
+	}
+	driveEpochs(m, specs)
+	if m.parEpochs == 0 {
+		t.Fatalf("no epoch fanned out to workers across %d epochs of 4-channel traffic", m.epochs)
 	}
 }
 

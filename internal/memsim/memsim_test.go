@@ -13,8 +13,7 @@ func testMem(hook func(uint32, Kind, int64)) *Memory {
 }
 
 func drain(m *Memory) {
-	for m.NextTime() < Infinity {
-		m.Step()
+	for t := m.NextTime(); t < Infinity; t = m.StepNext() {
 	}
 }
 

@@ -139,6 +139,16 @@ type Config struct {
 	// the run. See internal/faults.
 	Chaos *faults.Scenario
 
+	// Parallel runs the memory channels of each epoch on worker
+	// goroutines (see internal/memsim's epoch engine). It is an
+	// execution strategy, not a model knob: parallel and serial runs
+	// of the same configuration produce bitwise-identical Results, so
+	// Parallel is excluded from CacheKey and cached cells are shared
+	// across modes. Incompatible with Chaos — the fault injector has
+	// not been audited for channel-shard safety, and New rejects the
+	// combination rather than risk silent nondeterminism.
+	Parallel bool
+
 	// Traces, when non-empty, replaces the synthetic workload with
 	// one pre-recorded trace source per core (see internal/trace);
 	// Cores is ignored and Profile is used only for labeling.
@@ -262,6 +272,9 @@ func New(cfg Config) (*System, error) {
 		if err := cfg.Chaos.Validate(); err != nil {
 			return nil, err
 		}
+		if cfg.Parallel {
+			return nil, fmt.Errorf("sim: Parallel is incompatible with a Chaos scenario (%q): the fault injector is not channel-shard-safe; run chaos cells serially", cfg.Chaos.Name)
+		}
 	}
 	s := &System{
 		cfg:        cfg,
@@ -278,6 +291,7 @@ func New(cfg Config) (*System, error) {
 	mcfg := memsim.DefaultConfig(cfg.Mem)
 	mcfg.OnACT = s.onACT
 	mcfg.Trace = cfg.Trace
+	mcfg.Parallel = cfg.Parallel
 	s.mem = memsim.New(mcfg)
 
 	if err := s.makeTracker(&cfg); err != nil {
@@ -545,28 +559,43 @@ func (s *System) onACT(row uint32, kind memsim.Kind, at int64) {
 }
 
 // Run executes the simulation to completion and returns the result.
+//
+// The loop is organized around memory epochs (docs/PERFORMANCE.md,
+// "Parallel cell execution"): cores step one at a time while they are
+// strictly earliest, and the memory system advances in bulk-synchronous
+// epochs bounded by the controller lookahead, the earliest core event
+// and the next window reset. The epoch engine runs in this shape
+// whether or not Config.Parallel fans the channels out, so the two
+// modes compute bitwise-identical results.
 func (s *System) Run() (Result, error) {
+	defer s.mem.Close()
 	const maxSteps = int64(2e9) // hard safety stop
+	lookahead := s.mem.Lookahead()
 	for steps := int64(0); ; steps++ {
 		if steps > maxSteps {
 			return Result{}, fmt.Errorf("sim: exceeded %d steps; likely deadlock", maxSteps)
 		}
-		next := s.mem.NextTime()
+		memNext := s.mem.NextTime()
 		if steps&8191 == 0 {
 			if s.cfg.Ctx != nil {
 				if err := s.cfg.Ctx.Err(); err != nil {
-					return Result{}, fmt.Errorf("sim: aborted near cycle %d: %w", next, context.Cause(s.cfg.Ctx))
+					return Result{}, fmt.Errorf("sim: aborted near cycle %d: %w", memNext, context.Cause(s.cfg.Ctx))
 				}
 			}
-			if s.cfg.Progress != nil && next < memsim.Infinity {
-				s.cfg.Progress(next)
+			if s.cfg.Progress != nil && memNext < memsim.Infinity {
+				s.cfg.Progress(memNext)
 			}
 		}
+		next := memNext
+		coreMin := memsim.Infinity
 		var coreNext *cpu.Core
 		for _, c := range s.cores {
-			if t := c.NextTime(); t < next {
-				next = t
-				coreNext = c
+			if t := c.NextTime(); t < coreMin {
+				coreMin = t
+				if t < next {
+					next = t
+					coreNext = c
+				}
 			}
 		}
 		if next == memsim.Infinity {
@@ -593,10 +622,29 @@ func (s *System) Run() (Result, error) {
 			continue
 		}
 		if coreNext != nil {
+			// A core is strictly earliest (memory wins ties, as the
+			// per-event loop had it).
 			coreNext.Step()
-		} else {
-			s.mem.Step()
+			continue
 		}
+		// Memory epoch: every channel decision strictly before the
+		// horizon runs before the barrier delivers completions and
+		// activation hooks. The lookahead bound keeps core wake-ups
+		// exact (no completion of this epoch lands before the
+		// horizon); the core and reset clamps keep ordering with the
+		// rest of the system. A core tied with memNext degenerates to
+		// a one-cycle epoch — memory still wins the tie.
+		h := memNext + lookahead
+		if coreMin < h {
+			h = coreMin
+		}
+		if s.nextReset < h {
+			h = s.nextReset
+		}
+		if h <= memNext {
+			h = memNext + 1
+		}
+		s.mem.RunEpoch(h)
 	}
 	if fin, ok := s.cfg.Observer.(interface{ Finish() }); ok {
 		fin.Finish()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -23,12 +24,53 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"` // -1 when not reported
 }
 
-// BenchFile is the on-disk baseline artifact: the current measurements
-// and, optionally, the measurements they were compared against when
-// the baseline was written (so the file records the speedup a change
-// delivered, not just its endpoint).
+// BenchEnv records the machine a baseline was measured on. Benchmark
+// times only gate meaningfully against a baseline from a comparable
+// environment — a number recorded on a 16-core box says nothing about a
+// single-core CI runner (and the parallel-engine benchmarks literally
+// measure a different code path at GOMAXPROCS 1), so comparisons check
+// this and fail loudly on mismatch instead of silently drifting.
+type BenchEnv struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentBenchEnv captures the running process's environment.
+func CurrentBenchEnv() BenchEnv {
+	return BenchEnv{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// Mismatch describes why results from env e cannot be compared against
+// a baseline recorded under base; it returns "" when they can.
+func (e BenchEnv) Mismatch(base BenchEnv) string {
+	switch {
+	case e.GOOS != base.GOOS || e.GOARCH != base.GOARCH:
+		return fmt.Sprintf("platform %s/%s, baseline recorded on %s/%s",
+			e.GOOS, e.GOARCH, base.GOOS, base.GOARCH)
+	case e.NumCPU != base.NumCPU:
+		return fmt.Sprintf("%d CPUs, baseline recorded with %d", e.NumCPU, base.NumCPU)
+	case e.GOMAXPROCS != base.GOMAXPROCS:
+		return fmt.Sprintf("GOMAXPROCS %d, baseline recorded at %d", e.GOMAXPROCS, base.GOMAXPROCS)
+	}
+	return ""
+}
+
+// BenchFile is the on-disk baseline artifact: the current measurements,
+// the environment they were recorded in, and, optionally, the
+// measurements they were compared against when the baseline was written
+// (so the file records the speedup a change delivered, not just its
+// endpoint). Env is nil in baselines written before it existed; those
+// compare without the environment check.
 type BenchFile struct {
 	Schema     string                 `json:"schema"`
+	Env        *BenchEnv              `json:"env,omitempty"`
 	Benchmarks map[string]BenchResult `json:"benchmarks"`
 	Previous   map[string]BenchResult `json:"previous,omitempty"`
 	Speedup    map[string]float64     `json:"speedup,omitempty"`
@@ -151,11 +193,13 @@ func CompareBench(baseline, current map[string]BenchResult, tolerance float64) [
 	return deltas
 }
 
-// WriteBenchFile writes the baseline artifact. When prev is non-empty
-// the file also records those prior measurements and the per-benchmark
-// speedup (prev time over current time).
+// WriteBenchFile writes the baseline artifact, stamped with the
+// current environment. When prev is non-empty the file also records
+// those prior measurements and the per-benchmark speedup (prev time
+// over current time).
 func WriteBenchFile(path string, current, prev map[string]BenchResult) error {
-	f := BenchFile{Schema: BenchSchema, Benchmarks: current}
+	env := CurrentBenchEnv()
+	f := BenchFile{Schema: BenchSchema, Env: &env, Benchmarks: current}
 	if len(prev) > 0 {
 		f.Previous = prev
 		f.Speedup = make(map[string]float64)

@@ -122,6 +122,46 @@ func TestBenchFileRoundTrip(t *testing.T) {
 	if s := f.Speedup["BenchmarkX"]; s != 4 {
 		t.Fatalf("speedup = %v, want 4", s)
 	}
+	if f.Env == nil {
+		t.Fatal("written baseline carries no environment stamp")
+	}
+	if got := CurrentBenchEnv().Mismatch(*f.Env); got != "" {
+		t.Fatalf("self-comparison reports mismatch: %s", got)
+	}
+}
+
+func TestBenchEnvMismatch(t *testing.T) {
+	self := CurrentBenchEnv()
+	cases := map[string]func(*BenchEnv){
+		"GOOS":       func(e *BenchEnv) { e.GOOS += "x" },
+		"GOARCH":     func(e *BenchEnv) { e.GOARCH += "x" },
+		"NumCPU":     func(e *BenchEnv) { e.NumCPU++ },
+		"GOMAXPROCS": func(e *BenchEnv) { e.GOMAXPROCS++ },
+	}
+	for name, mutate := range cases {
+		base := self
+		mutate(&base)
+		if got := self.Mismatch(base); got == "" {
+			t.Errorf("differing %s not reported as a mismatch", name)
+		}
+	}
+}
+
+// TestLoadBenchFileWithoutEnv pins back-compat: baselines written
+// before the environment stamp load fine with a nil Env, which callers
+// treat as "no environment check possible".
+func TestLoadBenchFileWithoutEnv(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeTestFile(path, `{"schema":"hydra-bench-baseline/v1","benchmarks":{"BenchmarkX":{"n":1,"ns_per_op":10,"bytes_per_op":-1,"allocs_per_op":-1}}}`); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env != nil {
+		t.Fatalf("env = %+v, want nil for a pre-stamp baseline", f.Env)
+	}
 }
 
 func TestLoadBenchFileRejectsWrongSchema(t *testing.T) {
